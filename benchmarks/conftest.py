@@ -1,0 +1,43 @@
+"""Shared helpers for the evaluation benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one table or figure of the paper, asserts its
+qualitative shape, prints it, and saves it under ``benchmarks/out/``.
+Pipeline artifacts are cached per process (see ``repro.bench.runner``),
+so the suite runs each workload's pipeline once.
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def out_dir():
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_table(out_dir):
+    def _save(table):
+        text = table.render()
+        name = table.table_id.lower().replace(" ", "").replace("/", "-")
+        path = os.path.join(out_dir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print()
+        print(text)
+        return text
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run a table generator exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+"""Ablation: reachability engine designs.
+
+The paper (Section 3.2.2) rejects per-pair vector-timestamp comparison
+("too slow ... a huge number of dimensions") for bit-set reachability.
+We additionally ablate our segment-position compression against the
+paper's per-vertex algorithm.  The bench measures all-pairs query cost
+on one benchmark trace for:
+
+* **bitset+compress** — our production engine;
+* **bitset (paper)** — bit sets for every vertex, memory accesses
+  included;
+* **vector clocks** — one dimension per segment;
+* **naive DFS** — memoized reference.
+"""
+
+import itertools
+import time
+
+from conftest import run_once
+
+from repro.bench import CACHE, TableResult
+from repro.hb import HBGraph, NaiveReachability, VectorClockEngine
+
+BUG_ID = "ZK-1270"
+
+
+def _sample_pairs(trace, stride):
+    records = trace.records[::stride]
+    return list(itertools.combinations(records, 2))
+
+
+def engine_ablation() -> TableResult:
+    # Use the *full* (unselective) trace: big enough that engine costs
+    # are measurable (the selective traces answer in microseconds).
+    trace = CACHE.full_tracing(BUG_ID).trace
+    pairs = _sample_pairs(trace, stride=max(1, len(trace) // 60))
+
+    engines = {}
+    started = time.perf_counter()
+    compressed = HBGraph(trace)
+    engines["bitset+compress"] = (compressed, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    uncompressed = HBGraph(trace, compress_mem=False)
+    engines["bitset (paper)"] = (uncompressed, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    vc = VectorClockEngine(compressed)
+    engines["vector clocks"] = (vc, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    naive = NaiveReachability(compressed)
+    engines["naive DFS"] = (naive, time.perf_counter() - started)
+
+    reference = {}
+    rows = []
+    for name, (engine, build_seconds) in engines.items():
+        started = time.perf_counter()
+        answers = [engine.happens_before(a, b) for a, b in pairs]
+        query_seconds = time.perf_counter() - started
+        reference[name] = answers
+        backbone = (
+            len(engine.backbone) if isinstance(engine, HBGraph) else
+            len(compressed.backbone)
+        )
+        dims = vc.dimensions if engine is vc else "-"
+        rows.append(
+            [name, backbone, dims, build_seconds, query_seconds, len(pairs)]
+        )
+
+    # All engines agree on every sampled pair.
+    baseline = reference["bitset+compress"]
+    agree = all(ans == baseline for ans in reference.values())
+    notes = [f"engines agree on all {len(pairs)} sampled pairs: {agree}"]
+    return TableResult(
+        table_id="Ablation E",
+        title=f"Reachability engine cost on {BUG_ID} (full trace)",
+        headers=["Engine", "Vertices", "VC dims", "Build(s)", "Query(s)",
+                 "Pairs"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def test_engine_ablation(benchmark, save_table):
+    table = run_once(benchmark, engine_ablation)
+    save_table(table)
+
+    assert any("agree on all" in n and "True" in n for n in table.notes)
+    by_engine = {row[0]: row for row in table.rows}
+    # Compression shrinks the vertex set.
+    assert by_engine["bitset+compress"][1] < by_engine["bitset (paper)"][1]

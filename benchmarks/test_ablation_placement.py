@@ -1,0 +1,107 @@
+"""Ablation: trigger placement analysis vs naive alternatives.
+
+Paper Section 7.2: "the naive approach that inserts request just before
+the racing heap accesses failed to confirm 23 DCatch bug reports to be
+true races, out of the total 35", and Section 5.1 dismisses plain sleep
+injection.  This bench measures all three on the seven root-cause bugs:
+
+* **smart** — the full placement analysis + controller (the paper's
+  DCatch);
+* **naive-gates** — controller gates placed directly on the racing
+  accesses, no placement rules (the paper's failed strawman);
+* **sleep** — uncoordinated sleep injection.
+"""
+
+from conftest import run_once
+
+from repro.bench import CACHE, TableResult, all_bug_ids
+from repro.bench.runner import CACHE as cache
+from repro.detect import Verdict
+from repro.detect.report import BugReport
+from repro.systems import workload_by_id
+from repro.trigger import NaiveSleepTrigger, PlacementAnalyzer, TriggerModule
+
+EXPECTED_VARIABLE = {
+    "CA-1011": "tokens",
+    "HB-4539": "regions_in_transition",
+    "HB-4729": "unassigned_cache",
+    "MR-3274": "tasks",
+    "MR-4637": "jobs",
+    "ZK-1144": "accepted_epoch",
+    "ZK-1270": "votes",
+}
+
+
+def _root_report(result, bug_id):
+    for outcome in result.outcomes:
+        if (
+            outcome.verdict is Verdict.HARMFUL
+            and EXPECTED_VARIABLE[bug_id] in outcome.report.representative.variable
+        ):
+            return outcome.report
+    return None
+
+
+def _fresh_copy(report):
+    return BugReport(report_id=report.report_id, candidates=list(report.candidates))
+
+
+def placement_ablation() -> TableResult:
+    rows = []
+    smart_total = naive_total = sleep_total = 0
+    for bug_id in all_bug_ids():
+        result = cache.pipeline(bug_id, trigger=True)
+        report = _root_report(result, bug_id)
+        workload = workload_by_id(bug_id)
+        smart = report is not None
+        naive = sleep = False
+        if report is not None:
+            naive_placement = PlacementAnalyzer(
+                result.trace, result.detection.graph, smart=False
+            )
+            module = TriggerModule(workload.factory(), seeds=(0, 1))
+            outcome = module.validate_report(
+                _fresh_copy(report), naive_placement, max_candidates=2
+            )
+            naive = outcome is not None and outcome.verdict is Verdict.HARMFUL
+
+            sleeper = NaiveSleepTrigger(
+                workload.factory(), delays=(10, 50), seeds=(0,)
+            )
+            sleep_outcome = sleeper.validate(_fresh_copy(report))
+            sleep = sleep_outcome.verdict is Verdict.HARMFUL
+        smart_total += smart
+        naive_total += naive
+        sleep_total += sleep
+        rows.append(
+            [
+                bug_id,
+                "confirmed" if smart else "-",
+                "confirmed" if naive else "missed",
+                "confirmed" if sleep else "missed",
+            ]
+        )
+    rows.append(
+        ["Total", f"{smart_total}/7", f"{naive_total}/7", f"{sleep_total}/7"]
+    )
+    return TableResult(
+        table_id="Ablation P",
+        title="Trigger placement analysis vs naive gate placement vs "
+        "sleep injection (root-cause bugs confirmed harmful)",
+        headers=["BugID", "DCatch placement", "Naive gates", "Sleep injection"],
+        rows=rows,
+        notes=["paper §7.2: naive placement failed 23 of 35 true races"],
+    )
+
+
+def test_placement_ablation(benchmark, save_table):
+    table = run_once(benchmark, placement_ablation)
+    save_table(table)
+
+    total = table.row_for("Total")
+    smart = int(total[1].split("/")[0])
+    naive = int(total[2].split("/")[0])
+    sleep = int(total[3].split("/")[0])
+    assert smart == 7, "DCatch placement must confirm every root bug"
+    assert naive < smart, "naive gate placement should miss some bugs"
+    assert sleep < smart, "sleep injection should miss some bugs"

@@ -1,0 +1,21 @@
+"""Figure 1/2: the Hadoop MR-3274 hang scenario, end to end.
+
+Paper shape: hang iff the Cancel (#3) is delivered before GetTask (#2);
+no failure otherwise.  The triggering module must reproduce both sides.
+"""
+
+from conftest import run_once
+
+from repro.bench import figure1_mr_hang
+
+
+def test_figure1(benchmark, save_table):
+    table = run_once(benchmark, figure1_mr_hang)
+    save_table(table)
+
+    verdicts = {row[0]: row[4] for row in table.rows}
+    assert "harmful" in verdicts.values(), "the Figure 1 hang was not triggered"
+    # The register/get pair (Figure 2's put vs get) is tolerated by the
+    # retry loop — benign, exactly as the paper explains.
+    assert "benign" in verdicts.values()
+    assert any("hang" in note for note in table.notes)

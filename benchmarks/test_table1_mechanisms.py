@@ -1,0 +1,30 @@
+"""Table 1: concurrency & communication mechanisms per system."""
+
+from conftest import run_once
+
+from repro.bench import table1_mechanisms
+
+
+def test_table1(benchmark, save_table):
+    table = run_once(benchmark, table1_mechanisms)
+    save_table(table)
+
+    by_system = {row[0]: row for row in table.rows}
+    # Paper Table 1 shape:
+    # Cassandra:  no RPC, sockets, threads, events
+    assert by_system["Cassandra"][1] == "-"
+    assert by_system["Cassandra"][2] == "X"
+    # HBase: RPC, no app-level sockets, custom (ZooKeeper push)
+    assert by_system["HBase"][1] == "X"
+    assert by_system["HBase"][2] == "-"
+    assert by_system["HBase"][3] == "X"
+    # MapReduce: RPC, no sockets, custom (getTask pull loop)
+    assert by_system["Hadoop MapReduce"][1] == "X"
+    assert by_system["Hadoop MapReduce"][2] == "-"
+    # ZooKeeper: no RPC, sockets
+    assert by_system["ZooKeeper"][1] == "-"
+    assert by_system["ZooKeeper"][2] == "X"
+    # Everyone uses threads and events.
+    for row in table.rows:
+        assert row[4] == "X"
+        assert row[5] == "X"

@@ -1,0 +1,28 @@
+"""Table 5: candidate counts through the pruning stages.
+
+Paper shape: static pruning (SP) cuts trace-analysis (TA) candidates
+substantially for the larger benchmarks, and the loop-based
+synchronization analysis (LP) prunes further even after SP.
+"""
+
+from conftest import run_once
+
+from repro.bench import table5_pruning
+
+
+def test_table5(benchmark, save_table):
+    table = run_once(benchmark, table5_pruning)
+    save_table(table)
+
+    monotone = True
+    sp_pruned_somewhere = False
+    lp_pruned_somewhere = False
+    for row in table.rows:
+        bug_id, s_ta, s_sp, s_lp, c_ta, c_sp, c_lp = row
+        monotone &= s_ta >= s_sp >= s_lp and c_ta >= c_sp >= c_lp
+        sp_pruned_somewhere |= s_sp < s_ta
+        lp_pruned_somewhere |= s_lp < s_sp
+        assert s_lp >= 1, f"{bug_id}: everything pruned, bug lost"
+    assert monotone, "pruning stages must only remove candidates"
+    assert sp_pruned_somewhere, "static pruning had no effect anywhere"
+    assert lp_pruned_somewhere, "loop-based analysis had no effect anywhere"

@@ -1,0 +1,43 @@
+"""Table 6: DCatch performance (base vs tracing vs analysis vs pruning).
+
+Paper shape: tracing slows the run by a small constant factor; trace
+analysis scales with trace size; static pruning is the most expensive
+offline phase.
+"""
+
+from conftest import run_once
+
+from repro.bench import CACHE, all_bug_ids, table6_performance
+
+
+def test_table6(benchmark, save_table):
+    table = run_once(benchmark, table6_performance)
+    save_table(table)
+
+    assert len(table.rows) == 7
+    for row in table.rows:
+        bug_id, base_s, tracing_s, analysis_s, pruning_s, size = row
+        assert base_s > 0 and tracing_s > 0
+        assert pruning_s > 0
+        assert size.endswith("KB")
+
+    # Pruning dominates the offline phases in aggregate (paper: "the
+    # most time consuming phase in DCatch").
+    total_pruning = sum(row[4] for row in table.rows)
+    total_analysis = sum(row[3] for row in table.rows)
+    assert total_pruning > total_analysis
+
+
+def test_trace_sizes_ordering(benchmark, save_table):
+    """Relative trace sizes follow the paper: MR > HB-4729 > ZK."""
+
+    def measure():
+        return {
+            bug_id: CACHE.pipeline(bug_id, trigger=False).trace.size_bytes()
+            for bug_id in all_bug_ids()
+        }
+
+    sizes = run_once(benchmark, measure)
+    assert sizes["MR-3274"] > sizes["ZK-1144"]
+    assert sizes["MR-4637"] > sizes["ZK-1270"]
+    assert sizes["HB-4729"] > sizes["ZK-1144"]

@@ -1,0 +1,40 @@
+"""Table 7: breakdown of trace records by type.
+
+Paper shape: memory accesses dominate every trace; MapReduce benchmarks
+carry the most event/thread records (heavy event-driven computation);
+the Cassandra and ZooKeeper workloads have no app-level event records of
+their RPC kind (they are socket systems) and the MR workloads have no
+socket records.
+"""
+
+from conftest import run_once
+
+from repro.bench import table7_trace_breakdown
+
+
+def _split_rpc_socket(cell):
+    rpc, socket = cell.split("/")
+    return int(rpc.strip()), int(socket.strip())
+
+
+def test_table7(benchmark, save_table):
+    table = run_once(benchmark, table7_trace_breakdown)
+    save_table(table)
+
+    rows = {row[0]: row for row in table.rows}
+    for bug_id, row in rows.items():
+        total, mem = row[1], row[2]
+        assert mem > 0
+        assert mem >= total * 0.1, f"{bug_id}: mem records unexpectedly rare"
+        parts = sum(
+            [row[2], *(_split_rpc_socket(row[3])), row[4], row[5], row[6], row[7]]
+        )
+        assert parts == total, f"{bug_id}: categories do not add up"
+
+    # MapReduce uses RPC, not sockets; ZooKeeper/Cassandra the reverse.
+    for bug_id in ("MR-3274", "MR-4637"):
+        rpc, socket = _split_rpc_socket(rows[bug_id][3])
+        assert rpc > 0 and socket == 0
+    for bug_id in ("ZK-1144", "ZK-1270", "CA-1011"):
+        rpc, socket = _split_rpc_socket(rows[bug_id][3])
+        assert socket > 0 and rpc == 0

@@ -1,0 +1,29 @@
+"""Table 8: unselective (full) memory tracing — the alternative design.
+
+Paper shape: full tracing inflates traces by an order of magnitude or
+more, and trace analysis (the per-vertex bit-set algorithm) runs out of
+memory on the four largest benchmarks, while HB-4539 and the two
+ZooKeeper benchmarks still complete.
+"""
+
+from conftest import run_once
+
+from repro.bench import table8_full_tracing
+
+PAPER_OOM = {"CA-1011", "HB-4729", "MR-3274", "MR-4637"}
+PAPER_FITS = {"HB-4539", "ZK-1144", "ZK-1270"}
+
+
+def test_table8(benchmark, save_table):
+    table = run_once(benchmark, table8_full_tracing)
+    save_table(table)
+
+    rows = {row[0]: row for row in table.rows}
+    for bug_id in PAPER_OOM:
+        assert rows[bug_id][4] == "Out of Memory", f"{bug_id} should OOM"
+    for bug_id in PAPER_FITS:
+        assert rows[bug_id][4] != "Out of Memory", f"{bug_id} should fit"
+
+    # Trace-size blowup of at least ~10x somewhere (paper: up to 40x).
+    blowups = [float(row[2].rstrip("x")) for row in table.rows]
+    assert max(blowups) >= 10

@@ -1,0 +1,48 @@
+"""Table 9: HB-rule ablation — every rule family earns its keep.
+
+Paper shape: dropping event / RPC / socket / push records introduces
+false positives (missed orderings) and false negatives (handler segments
+collapsing into whole-thread program order) in the benchmarks that use
+the corresponding mechanism.
+"""
+
+from conftest import run_once
+
+from repro.bench import table9_hb_ablation
+
+
+def _changed(cell):
+    return cell != "-"
+
+
+def test_table9(benchmark, save_table):
+    table = run_once(benchmark, table9_hb_ablation)
+    save_table(table)
+
+    rows = {row[0]: row for row in table.rows}
+    headers = table.headers  # BugID, Event, RPC, Socket, Push
+
+    # RPC ablation hurts the RPC systems (HBase, MapReduce).
+    rpc_idx = headers.index("RPC")
+    assert any(
+        _changed(rows[b][rpc_idx])
+        for b in ("HB-4539", "HB-4729", "MR-3274", "MR-4637")
+    )
+    # Push ablation hurts the ZooKeeper-coordinated system (HBase).
+    push_idx = headers.index("Push")
+    assert any(_changed(rows[b][push_idx]) for b in ("HB-4539", "HB-4729"))
+    # Event ablation hurts event-heavy benchmarks.
+    event_idx = headers.index("Event")
+    assert any(_changed(rows[b][event_idx]) for b in rows)
+    # Socket ablation hurts a socket system.
+    socket_idx = headers.index("Socket")
+    assert any(
+        _changed(rows[b][socket_idx])
+        for b in ("CA-1011", "ZK-1144", "ZK-1270")
+    )
+
+    # Ablations introduce false positives and/or false negatives, never
+    # silently nothing everywhere.
+    assert any(
+        _changed(rows[b][i]) for b in rows for i in range(1, len(headers))
+    )

@@ -1,0 +1,51 @@
+"""The ZooKeeper election race (ZK-1270): a vote lost to a round bump.
+
+The electing node's round-timeout handler clears the vote table
+concurrently with the peer's vote notification.  If the vote lands
+first, the clear erases it, the peer never re-sends, and the election
+never converges — the service stays unavailable.
+
+This example runs detection *and* shows the two controlled re-executions
+side by side: the safe order completes, the bad order hangs.
+
+Run with::
+
+    python examples/zookeeper_election_race.py
+"""
+
+from repro.detect import Verdict
+from repro.pipeline import DCatch
+from repro.runtime import FailureKind
+from repro.systems import workload_by_id
+
+
+def main() -> None:
+    workload = workload_by_id("ZK-1270")
+    result = DCatch(workload).run()
+    print(result.summary())
+    print()
+
+    harmful = [o for o in result.outcomes if o.verdict is Verdict.HARMFUL]
+    assert harmful, "expected the election race to be confirmed harmful"
+
+    outcome = harmful[0]
+    print(outcome.describe())
+    print()
+
+    hang_runs = [
+        run
+        for run in outcome.runs
+        if FailureKind.HANG in run.result.failure_kinds()
+    ]
+    ok_runs = [run for run in outcome.runs if run.enforced and not run.failed]
+    print(f"runs that hung (vote erased): {len(hang_runs)}")
+    print(f"runs that completed (clear before vote): {len(ok_runs)}")
+    print()
+    print(
+        "=> same system, same inputs: only the relative timing of the "
+        "vote notification and the round bump decides liveness."
+    )
+
+
+if __name__ == "__main__":
+    main()

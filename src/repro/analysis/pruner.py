@@ -1,0 +1,116 @@
+"""Static pruning of DCbug candidates (paper Section 4).
+
+A candidate ``(s, t)`` survives iff *either* access can influence a
+failure instruction.  The pruner anchors each access by its trace call
+stack (innermost system-under-test frame first, falling back outward when
+a frame cannot be resolved — the paper's "inter-procedural analysis
+follows the reported call-stack").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.astutil import SourceIndex
+from repro.analysis.failures import DEFAULT_FAILURE_SPEC, FailureSpec
+from repro.analysis.impact import Impact, ImpactAnalyzer, RpcLink, rpc_links_from_trace
+from repro.detect.report import BugReport, ReportSet
+from repro.ids import Site
+from repro.runtime.ops import OpEvent
+
+
+@dataclass
+class PruneDecision:
+    report: BugReport
+    keep: bool
+    reasons: List[str] = field(default_factory=list)
+
+
+@dataclass
+class PruneResult:
+    kept: ReportSet
+    pruned: ReportSet
+    decisions: List[PruneDecision]
+    seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"static pruning kept {len(self.kept)} / "
+            f"{len(self.kept) + len(self.pruned)} reports"
+        )
+
+
+class StaticPruner:
+    """Prunes candidates with no estimated failure impact."""
+
+    def __init__(
+        self,
+        index: SourceIndex,
+        spec: FailureSpec = DEFAULT_FAILURE_SPEC,
+        rpc_links: Sequence[RpcLink] = (),
+        interprocedural_depth: int = 1,
+        observed_functions=None,
+    ) -> None:
+        self.analyzer = ImpactAnalyzer(
+            index,
+            spec=spec,
+            rpc_links=rpc_links,
+            interprocedural_depth=interprocedural_depth,
+            observed_functions=observed_functions,
+        )
+
+    @classmethod
+    def for_trace(
+        cls,
+        index: SourceIndex,
+        trace: "object",
+        spec: FailureSpec = DEFAULT_FAILURE_SPEC,
+        interprocedural_depth: int = 1,
+    ) -> "StaticPruner":
+        observed = {
+            frame.func
+            for record in trace.records
+            for frame in record.callstack
+        }
+        return cls(
+            index,
+            spec=spec,
+            rpc_links=rpc_links_from_trace(trace),
+            interprocedural_depth=interprocedural_depth,
+            observed_functions=observed,
+        )
+
+    def assess(self, report: BugReport) -> PruneDecision:
+        reasons: List[str] = []
+        keep = False
+        for access in report.representative.accesses():
+            impact = self._access_impact(access)
+            if impact.found:
+                keep = True
+                reasons.extend(impact.reasons)
+        return PruneDecision(report=report, keep=keep, reasons=reasons)
+
+    def apply(self, reports: ReportSet) -> PruneResult:
+        import time
+
+        started = time.perf_counter()
+        decisions = [self.assess(report) for report in reports]
+        kept = ReportSet([d.report for d in decisions if d.keep])
+        pruned = ReportSet([d.report for d in decisions if not d.keep])
+        return PruneResult(
+            kept=kept,
+            pruned=pruned,
+            decisions=decisions,
+            seconds=time.perf_counter() - started,
+        )
+
+    def _access_impact(self, access: OpEvent) -> Impact:
+        """Walk the recorded call stack outward until a frame resolves."""
+        for frame in access.callstack:
+            site = Site.of_frame(frame)
+            fn = self.analyzer.index.function_at(site.path, site.line)
+            if fn is None:
+                continue
+            return self.analyzer.access_impact(site)
+        return Impact(True, ["no resolvable frame: kept conservatively"])

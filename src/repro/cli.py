@@ -1,0 +1,219 @@
+"""Command-line interface: ``dcatch``.
+
+Subcommands::
+
+    dcatch list                     # the benchmark inventory (Table 3)
+    dcatch run MR-3274              # full pipeline on one benchmark
+    dcatch run MR-3274 --no-trigger # detection + pruning only
+    dcatch table table4             # regenerate one evaluation table
+    dcatch table all                # regenerate everything
+    dcatch trace ZK-1144 --out DIR  # save the monitored run's trace files
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.systems import all_workloads, extra_workloads
+
+    header = f"{'BugID':11s} {'System':17s} {'Workload':44s} {'Symptom':20s} Err Root"
+    print(header)
+    for workload in all_workloads():
+        info = workload.info
+        print(
+            f"{info.bug_id:11s} {info.system:17s} {info.workload:44s} "
+            f"{info.symptom:20s} {info.error_pattern:3s} {info.root_cause}"
+        )
+    print("-- beyond the paper's benchmarks --")
+    for workload in extra_workloads():
+        info = workload.info
+        print(
+            f"{info.bug_id:11s} {info.system:17s} {info.workload:44s} "
+            f"{info.symptom:20s} {info.error_pattern:3s} {info.root_cause}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.pipeline import DCatch, PipelineConfig
+    from repro.systems import workload_by_id
+
+    workload = workload_by_id(args.bug_id)
+    config = PipelineConfig(
+        scope="full" if args.full_scope else "selective",
+        trigger=not args.no_trigger,
+        monitored_seed=args.seed,
+    )
+    result = DCatch(workload, config).run()
+    print(result.summary())
+    if result.reports is not None:
+        print()
+        for report in result.reports:
+            print(report.describe())
+            print()
+    for outcome in result.outcomes:
+        print(outcome.describe())
+        print()
+    if args.save_reports and result.reports is not None:
+        from repro.detect import save_reports
+
+        save_reports(result.reports, args.save_reports)
+        print(f"reports saved to {args.save_reports}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.bench import ALL_TABLES
+
+    names = list(ALL_TABLES) if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in ALL_TABLES]
+    if unknown:
+        print(f"unknown table(s): {unknown}; known: {sorted(ALL_TABLES)}")
+        return 2
+    for name in names:
+        print(ALL_TABLES[name]().render())
+        print()
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.bench.reproduce import reproduce_all
+
+    report, _tables = reproduce_all(args.only or None)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Explain the happens-before relation between a variable's accesses."""
+    from repro.detect import detect_races
+    from repro.hb import ChainExplainer
+    from repro.systems import workload_by_id
+    from repro.trace import Tracer, selective_scope_for
+
+    workload = workload_by_id(args.bug_id)
+    cluster = workload.cluster(args.seed, churn=False)
+    tracer = Tracer(scope=selective_scope_for(workload.modules()))
+    tracer.bind(cluster)
+    cluster.run()
+    detection = detect_races(tracer.trace)
+    explainer = ChainExplainer(detection.graph)
+
+    accesses = [
+        r
+        for r in tracer.trace.mem_accesses()
+        if args.variable in str(r.obj_id)
+    ]
+    if not accesses:
+        print(f"no accesses match variable substring {args.variable!r}")
+        return 1
+    shown = 0
+    for i, a in enumerate(accesses):
+        for b in accesses[i + 1:]:
+            if a.segment == b.segment:
+                continue
+            print(explainer.render(a, b))
+            print()
+            shown += 1
+            if shown >= args.limit:
+                return 0
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.systems import workload_by_id
+    from repro.trace import Tracer, selective_scope_for
+
+    workload = workload_by_id(args.bug_id)
+    cluster = workload.cluster(args.seed)
+    tracer = Tracer(scope=selective_scope_for(workload.modules()))
+    tracer.bind(cluster)
+    result = cluster.run()
+    tracer.trace.save(args.out)
+    print(result.summary())
+    print(
+        f"saved {len(tracer.trace)} records "
+        f"({len(tracer.trace.per_thread)} thread files) to {args.out}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dcatch",
+        description="DCatch reproduction: distributed concurrency bug "
+        "detection on simulated cloud systems (ASPLOS'17)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark workloads").set_defaults(
+        fn=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run the DCatch pipeline on a benchmark")
+    run.add_argument("bug_id", help="benchmark id, e.g. MR-3274")
+    run.add_argument("--seed", type=int, default=None, help="monitored-run seed")
+    run.add_argument(
+        "--no-trigger", action="store_true", help="skip the triggering stage"
+    )
+    run.add_argument(
+        "--full-scope",
+        action="store_true",
+        help="unselective memory tracing (the Table 8 alternative)",
+    )
+    run.add_argument(
+        "--save-reports",
+        metavar="PATH",
+        default=None,
+        help="write the final bug reports as JSON",
+    )
+    run.set_defaults(fn=_cmd_run)
+
+    table = sub.add_parser("table", help="regenerate an evaluation table")
+    table.add_argument("name", help="table1|table3|...|figure1|...|all")
+    table.set_defaults(fn=_cmd_table)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate every evaluation table and figure"
+    )
+    reproduce.add_argument("--out", default=None, help="write to a file")
+    reproduce.add_argument(
+        "--only", nargs="*", default=None, help="subset, e.g. table4 figure3"
+    )
+    reproduce.set_defaults(fn=_cmd_reproduce)
+
+    explain = sub.add_parser(
+        "explain",
+        help="show happens-before chains between a variable's accesses",
+    )
+    explain.add_argument("bug_id")
+    explain.add_argument("--variable", required=True, help="substring match")
+    explain.add_argument("--seed", type=int, default=None)
+    explain.add_argument("--limit", type=int, default=6)
+    explain.set_defaults(fn=_cmd_explain)
+
+    trace = sub.add_parser("trace", help="save a monitored run's trace")
+    trace.add_argument("bug_id")
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument("--out", default="./dcatch-trace")
+    trace.set_defaults(fn=_cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""DCbug candidate detection and reporting (paper Section 3.2)."""
+
+from repro.detect.chunked import (
+    ChunkedDetectionResult,
+    chunk_trace,
+    detect_races_chunked,
+)
+from repro.detect.export import (
+    dump_reports,
+    load_reports,
+    load_reports_file,
+    report_from_dict,
+    report_to_dict,
+    save_reports,
+)
+from repro.detect.lockset import LocksetIndex, LocksetSplit, split_by_lockset
+from repro.detect.races import Candidate, DetectionResult, detect_races
+from repro.detect.report import BugReport, ReportSet, Verdict
+
+__all__ = [
+    "Candidate",
+    "DetectionResult",
+    "detect_races",
+    "BugReport",
+    "ReportSet",
+    "Verdict",
+    "LocksetIndex",
+    "LocksetSplit",
+    "split_by_lockset",
+    "ChunkedDetectionResult",
+    "chunk_trace",
+    "detect_races_chunked",
+    "dump_reports",
+    "load_reports",
+    "save_reports",
+    "load_reports_file",
+    "report_to_dict",
+    "report_from_dict",
+]

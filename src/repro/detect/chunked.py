@@ -1,0 +1,110 @@
+"""Chunked trace analysis: the paper's out-of-memory fallback.
+
+Section 7.2 (false-negative discussion): "DCatch may not process
+extremely large traces ... DCatch will need to chunk the traces and
+conduct detection within each chunk, an approach used by previous LCbug
+detection tools."
+
+``detect_races_chunked`` splits the trace into fixed-size windows and
+runs full detection inside each.  Consequences, both documented by the
+LCbug literature the paper cites:
+
+* memory drops from O(n²) to O(c²) per chunk;
+* pairs that *span* chunks are missed (false negatives) — racing
+  accesses usually execute close together in time, so the loss is small;
+* HB edges that span chunks are also missed, which can make intra-chunk
+  pairs spuriously concurrent (false positives).  A modest overlap
+  between consecutive chunks softens both effects.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.detect.races import Candidate, DetectionResult, detect_races
+from repro.errors import TraceAnalysisOOM
+from repro.hb.graph import DEFAULT_MEMORY_BUDGET, HBGraph
+from repro.hb.model import FULL_MODEL, HBModel
+from repro.trace.store import Trace
+
+
+@dataclass
+class ChunkedDetectionResult:
+    """Union of per-chunk detections."""
+
+    trace: Trace
+    chunk_size: int
+    overlap: int
+    chunks: int
+    candidates: List[Candidate]
+    analysis_seconds: float
+    per_chunk_counts: List[int] = field(default_factory=list)
+
+    def static_count(self) -> int:
+        return len({c.static_pair for c in self.candidates})
+
+    def callstack_count(self) -> int:
+        return len({c.callstack_pair for c in self.candidates})
+
+
+def chunk_trace(trace: Trace, chunk_size: int, overlap: int = 0) -> List[Trace]:
+    """Split a trace into windows of ``chunk_size`` records, each window
+    extended backward by ``overlap`` records."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    if overlap < 0 or overlap >= chunk_size:
+        raise ValueError("overlap must be in [0, chunk_size)")
+    chunks: List[Trace] = []
+    records = trace.records
+    start = 0
+    index = 0
+    while start < len(records):
+        lo = max(0, start - overlap)
+        window = records[lo:start + chunk_size]
+        chunk = Trace(name=f"{trace.name}-chunk{index}")
+        for record in window:
+            chunk.append(record)
+        chunks.append(chunk)
+        start += chunk_size
+        index += 1
+    return chunks
+
+
+def detect_races_chunked(
+    trace: Trace,
+    chunk_size: int,
+    overlap: int = 0,
+    model: HBModel = FULL_MODEL,
+    memory_budget: int = DEFAULT_MEMORY_BUDGET,
+    compress_mem: bool = True,
+) -> ChunkedDetectionResult:
+    """Run detection chunk by chunk and merge the candidate sets."""
+    started = time.perf_counter()
+    seen: Dict[tuple, Candidate] = {}
+    per_chunk: List[int] = []
+    chunks = chunk_trace(trace, chunk_size, overlap)
+    for chunk in chunks:
+        graph = HBGraph(
+            chunk,
+            model=model,
+            memory_budget=memory_budget,
+            compress_mem=compress_mem,
+        )
+        detection = detect_races(
+            chunk, model=model, memory_budget=memory_budget, graph=graph
+        )
+        per_chunk.append(len(detection.candidates))
+        for candidate in detection.candidates:
+            key = (candidate.first.seq, candidate.second.seq)
+            seen.setdefault(key, candidate)
+    return ChunkedDetectionResult(
+        trace=trace,
+        chunk_size=chunk_size,
+        overlap=overlap,
+        chunks=len(chunks),
+        candidates=list(seen.values()),
+        analysis_seconds=time.perf_counter() - started,
+        per_chunk_counts=per_chunk,
+    )

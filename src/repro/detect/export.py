@@ -1,0 +1,65 @@
+"""Bug-report serialization: save/load DCatch findings as JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.detect.report import BugReport, ReportSet, Verdict
+from repro.trace.records import record_from_dict, record_to_dict
+
+
+def report_to_dict(report: BugReport) -> Dict[str, Any]:
+    return {
+        "report_id": report.report_id,
+        "verdict": report.verdict.value,
+        "verdict_detail": report.verdict_detail,
+        "dynamic_instances": report.dynamic_instances,
+        "candidates": [
+            {
+                "first": record_to_dict(c.first),
+                "second": record_to_dict(c.second),
+            }
+            for c in report.candidates
+        ],
+    }
+
+
+def report_from_dict(data: Dict[str, Any]) -> BugReport:
+    from repro.detect.races import Candidate
+
+    candidates = [
+        Candidate(
+            first=record_from_dict(c["first"]),
+            second=record_from_dict(c["second"]),
+        )
+        for c in data["candidates"]
+    ]
+    report = BugReport(report_id=data["report_id"], candidates=candidates)
+    report.verdict = Verdict(data["verdict"])
+    report.verdict_detail = data.get("verdict_detail", "")
+    return report
+
+
+def dump_reports(reports: ReportSet) -> str:
+    """JSON-encode a report set (stable, human-diffable)."""
+    return json.dumps(
+        {"reports": [report_to_dict(r) for r in reports]},
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def load_reports(text: str) -> ReportSet:
+    data = json.loads(text)
+    return ReportSet([report_from_dict(r) for r in data["reports"]])
+
+
+def save_reports(reports: ReportSet, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(dump_reports(reports))
+
+
+def load_reports_file(path: str) -> ReportSet:
+    with open(path) as fh:
+        return load_reports(fh.read())

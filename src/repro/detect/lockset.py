@@ -1,0 +1,73 @@
+"""Lockset annotation: an LCbug-style extension.
+
+The DCatch HB model deliberately excludes locks — "lock provides mutual
+exclusion, not strict ordering" (paper Section 2.3) — so lock-protected
+conflicting accesses are still reported as candidates (the two orders of
+the critical sections can both happen).  Classic LCbug race detectors
+(Eraser-style) would instead *filter* pairs that share a lock.
+
+This module computes locksets from the trace so that callers can:
+
+* annotate candidates with the locks common to both sides (useful when
+  reading reports: a common lock means no atomicity bug *within* one
+  critical section, but the order of the sections is still free);
+* optionally filter common-lock pairs, reproducing what an LCbug
+  detector would do — an ablation target, not the default.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.detect.races import Candidate
+from repro.runtime.ops import OpEvent, OpKind
+from repro.trace.store import Trace
+
+
+class LocksetIndex:
+    """Locks held at every traced operation, per thread."""
+
+    def __init__(self, trace: Trace) -> None:
+        self._held_at: Dict[int, FrozenSet[object]] = {}
+        held: Dict[int, Dict[object, int]] = defaultdict(dict)
+        for record in trace.records:
+            if record.kind is OpKind.LOCK_ACQUIRE:
+                depths = held[record.tid]
+                depths[record.obj_id] = depths.get(record.obj_id, 0) + 1
+            elif record.kind is OpKind.LOCK_RELEASE:
+                depths = held[record.tid]
+                if depths.get(record.obj_id, 0) <= 1:
+                    depths.pop(record.obj_id, None)
+                else:
+                    depths[record.obj_id] -= 1
+            else:
+                self._held_at[record.seq] = frozenset(held[record.tid])
+
+    def held_at(self, record: OpEvent) -> FrozenSet[object]:
+        return self._held_at.get(record.seq, frozenset())
+
+    def common_locks(self, candidate: Candidate) -> FrozenSet[object]:
+        return self.held_at(candidate.first) & self.held_at(candidate.second)
+
+
+@dataclass
+class LocksetSplit:
+    """Candidates partitioned by whether a common lock protects them."""
+
+    unprotected: List[Candidate]
+    lock_protected: List[Tuple[Candidate, FrozenSet[object]]]
+
+
+def split_by_lockset(trace: Trace, candidates: List[Candidate]) -> LocksetSplit:
+    index = LocksetIndex(trace)
+    unprotected: List[Candidate] = []
+    protected: List[Tuple[Candidate, FrozenSet[object]]] = []
+    for candidate in candidates:
+        common = index.common_locks(candidate)
+        if common:
+            protected.append((candidate, common))
+        else:
+            unprotected.append(candidate)
+    return LocksetSplit(unprotected=unprotected, lock_protected=protected)

@@ -1,0 +1,135 @@
+"""DCbug candidate detection (paper Section 3.2.2).
+
+A candidate is a pair of memory accesses ``(s, t)`` that touch the same
+location, with at least one write, and are *concurrent* (no HB path either
+way).  Enumeration is per-location; same-segment pairs are skipped up
+front (program order always orders them), and the HB graph answers the
+rest in constant time per query via bit sets.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hb.graph import DEFAULT_MEMORY_BUDGET, HBGraph
+from repro.hb.model import FULL_MODEL, HBModel
+from repro.ids import CallStack, Site
+from repro.runtime.ops import Location, OpEvent, OpKind
+from repro.trace.store import Trace
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One dynamic pair of conflicting concurrent accesses."""
+
+    first: OpEvent
+    second: OpEvent
+
+    @property
+    def location(self) -> Location:
+        return self.first.location
+
+    @property
+    def static_pair(self) -> frozenset:
+        """Dedup key for the paper's 'static instruction pair' counts."""
+        return frozenset((self.first.site, self.second.site))
+
+    @property
+    def callstack_pair(self) -> frozenset:
+        """Dedup key for the paper's 'callstack pair' counts."""
+        return frozenset((self.first.callstack, self.second.callstack))
+
+    @property
+    def variable(self) -> str:
+        return str(self.first.obj_id)
+
+    def accesses(self) -> Tuple[OpEvent, OpEvent]:
+        return (self.first, self.second)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.variable}[{self.location[1]}]: "
+            f"{self.first.kind.value}@{self.first.site} ({self.first.node}) <-> "
+            f"{self.second.kind.value}@{self.second.site} ({self.second.node})"
+        )
+
+
+@dataclass
+class DetectionResult:
+    """Output of trace analysis: the raw candidate list plus statistics."""
+
+    trace: Trace
+    graph: HBGraph
+    candidates: List[Candidate]
+    analysis_seconds: float
+    pairs_examined: int
+
+    def static_pairs(self) -> Dict[frozenset, List[Candidate]]:
+        grouped: Dict[frozenset, List[Candidate]] = defaultdict(list)
+        for candidate in self.candidates:
+            grouped[candidate.static_pair].append(candidate)
+        return dict(grouped)
+
+    def callstack_pairs(self) -> Dict[frozenset, List[Candidate]]:
+        grouped: Dict[frozenset, List[Candidate]] = defaultdict(list)
+        for candidate in self.candidates:
+            grouped[candidate.callstack_pair].append(candidate)
+        return dict(grouped)
+
+    def static_count(self) -> int:
+        return len(self.static_pairs())
+
+    def callstack_count(self) -> int:
+        return len(self.callstack_pairs())
+
+
+def detect_races(
+    trace: Trace,
+    model: HBModel = FULL_MODEL,
+    memory_budget: int = DEFAULT_MEMORY_BUDGET,
+    graph: Optional[HBGraph] = None,
+    max_pairs_per_location: int = 200_000,
+) -> DetectionResult:
+    """Run trace analysis: build the HB graph, enumerate candidates."""
+    started = time.perf_counter()
+    if graph is None:
+        graph = HBGraph(trace, model=model, memory_budget=memory_budget)
+
+    by_location: Dict[Location, List[OpEvent]] = defaultdict(list)
+    for record in trace.records:
+        if record.is_mem and record.location is not None:
+            by_location[record.location].append(record)
+
+    candidates: List[Candidate] = []
+    examined = 0
+    for location, accesses in by_location.items():
+        writes = [a for a in accesses if a.kind is OpKind.MEM_WRITE]
+        if not writes:
+            continue
+        pairs = 0
+        for i, a in enumerate(accesses):
+            for b in accesses[i + 1:]:
+                if a.kind is OpKind.MEM_READ and b.kind is OpKind.MEM_READ:
+                    continue
+                if a.segment == b.segment:
+                    continue  # program order covers these
+                pairs += 1
+                if pairs > max_pairs_per_location:
+                    break
+                if graph.concurrent(a, b):
+                    candidates.append(Candidate(a, b))
+            if pairs > max_pairs_per_location:
+                break
+        examined += pairs
+
+    elapsed = time.perf_counter() - started
+    return DetectionResult(
+        trace=trace,
+        graph=graph,
+        candidates=candidates,
+        analysis_seconds=elapsed,
+        pairs_examined=examined,
+    )

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the DCatch reproduction.
+
+Three families live here:
+
+* ``ReproError`` — programming/usage errors in this library itself.
+* ``SimFailure`` — failures *inside* a simulated distributed system
+  (aborts, fatal conditions).  These are part of the modeled behaviour:
+  the runtime catches them and turns them into failure events.
+* ``ThreadKilled`` — internal control-flow signal used to tear down
+  simulated threads at the end of a run.  It derives from
+  ``BaseException`` so workload code that catches ``Exception`` cannot
+  swallow it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for errors raised by the library itself."""
+
+
+class SchedulerError(ReproError):
+    """The cooperative scheduler reached an inconsistent internal state."""
+
+
+class DeadlockError(ReproError):
+    """Every non-daemon simulated thread is blocked and cannot make progress."""
+
+    def __init__(self, message: str, blocked: list):
+        super().__init__(message)
+        self.blocked = blocked
+
+
+class HangError(ReproError):
+    """The simulation exceeded its step budget (livelock / infinite loop)."""
+
+    def __init__(self, message: str, steps: int):
+        super().__init__(message)
+        self.steps = steps
+
+
+class TraceAnalysisOOM(ReproError):
+    """Trace analysis would exceed the configured memory budget.
+
+    This reproduces the paper's Table 8 observation that unselective
+    memory tracing makes the HB analysis run out of memory.
+    """
+
+    def __init__(self, message: str, required_bytes: int, budget_bytes: int):
+        super().__init__(message)
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+
+
+class SimFailure(Exception):
+    """Base class for failures raised by simulated system code."""
+
+
+class SimAbort(SimFailure):
+    """A node called ``abort()`` (the analogue of ``System.exit``)."""
+
+
+class RpcError(SimFailure):
+    """An RPC call failed (remote handler raised, or target unreachable)."""
+
+
+class NoNodeError(SimFailure):
+    """Coordination-service operation on a znode that does not exist."""
+
+
+class NodeExistsError(SimFailure):
+    """Coordination-service create of a znode that already exists."""
+
+
+class ThreadKilled(BaseException):
+    """Internal: a simulated thread is being torn down at end of run."""

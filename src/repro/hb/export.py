@@ -1,0 +1,51 @@
+"""Graphviz export of the happens-before graph (debugging aid)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hb.explain import ChainExplainer
+from repro.hb.graph import HBGraph
+
+_RULE_COLORS = {
+    "P": "gray",
+    "Tfork": "blue",
+    "Tjoin": "blue",
+    "Eenq": "darkgreen",
+    "Eserial": "green",
+    "Mrpc": "red",
+    "Msoc": "orange",
+    "Mpush": "purple",
+}
+
+
+def graph_to_dot(
+    graph: HBGraph,
+    max_nodes: Optional[int] = 400,
+    name: str = "hb",
+) -> str:
+    """Render the backbone graph as DOT, edges colored by rule."""
+    explainer = ChainExplainer(graph)
+    backbone = graph.backbone
+    if max_nodes is not None and len(backbone) > max_nodes:
+        backbone = backbone[:max_nodes]
+    included = {record.seq for record in backbone}
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=box, fontsize=9];"]
+    for record in backbone:
+        label = f"{record.seq} {record.kind.value}\\n{record.node}/{record.thread_name}"
+        lines.append(f'  n{record.seq} [label="{label}"];')
+    for i, succs in enumerate(graph._succ):
+        a = graph.backbone[i]
+        if a.seq not in included:
+            continue
+        for j in succs:
+            b = graph.backbone[j]
+            if b.seq not in included:
+                continue
+            rule = explainer._edge_rules.get((i, j), "?")
+            color = _RULE_COLORS.get(rule.split(":")[0], "black")
+            lines.append(
+                f'  n{a.seq} -> n{b.seq} [label="{rule}", color={color}, fontsize=8];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

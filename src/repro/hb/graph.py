@@ -1,0 +1,247 @@
+"""The happens-before graph and its reachability engine.
+
+Paper Section 3.2: every trace record is a vertex; edges realize the MTEP
+rules; two memory accesses are concurrent iff neither reaches the other.
+
+Two structural choices make this scale (both from the paper):
+
+* **Bit-set reachability** (Raychev et al., adopted in Section 3.2.2):
+  reachable sets are computed once in reverse topological order and HB
+  queries become constant-time bit tests.  Because the scheduler
+  serializes execution, every HB edge points forward in sequence order,
+  so sequence order *is* a topological order.
+
+* **Segment-position compression**: memory accesses never get their own
+  bit-set.  Within one segment (a regular thread's lifetime, or one
+  handler invocation) records are totally ordered by Rule-Preg/Pnreg, so
+  a memory access is located by (segment, position) and cross-segment
+  reachability is delegated to the nearest *backbone* vertices (HB-related
+  operations, plus endpoints of Rule-Mpull edges).  This keeps the bit
+  matrix at backbone size — the same reason the paper separates HB-related
+  operations from the bulk of memory accesses.
+
+The memory budget check reproduces Table 8: unselective traces make the
+reachability matrix exceed the budget, and the analysis refuses to run.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TraceAnalysisOOM
+from repro.hb.model import FULL_MODEL, HBModel
+from repro.hb.pull import PullEdge, infer_pull_edges
+from repro.runtime.ops import HB_KINDS, OpEvent, OpKind
+from repro.trace.store import Trace
+
+#: Default trace-analysis memory budget (bytes) for the reachability
+#: matrix; the analogue of the paper's 50 GB JVM heap, scaled to the
+#: simulator.  Override per-call for the Table 8 experiment.
+DEFAULT_MEMORY_BUDGET = 512 * 1024 * 1024
+
+
+class HBGraph:
+    """Happens-before graph over one trace."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        model: HBModel = FULL_MODEL,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        compress_mem: bool = True,
+    ) -> None:
+        """``compress_mem=False`` runs the paper's original algorithm —
+        a reachability bit set for *every* vertex including memory
+        accesses — which is what runs out of memory on unselective
+        traces (Table 8).  The default compresses memory accesses to
+        segment positions."""
+        self.trace = trace
+        self.model = model
+        self.memory_budget = memory_budget
+        self.compress_mem = compress_mem
+        self.edge_counts: Dict[str, int] = defaultdict(int)
+
+        # -- segment structure -------------------------------------------------
+        self._segments: Dict[int, List[OpEvent]] = defaultdict(list)
+        self._position: Dict[int, Tuple[int, int]] = {}  # seq -> (segment, pos)
+        for record in trace.records:
+            seg = self._segments[record.segment]
+            self._position[record.seq] = (record.segment, len(seg))
+            seg.append(record)
+
+        # -- Rule-Mpull evidence (endpoints must become backbone) --------------
+        self.pull_edges: List[PullEdge] = (
+            infer_pull_edges(trace) if model.pull else []
+        )
+        pull_endpoints: Set[int] = set()
+        for edge in self.pull_edges:
+            pull_endpoints.add(edge.write_seq)
+            pull_endpoints.add(edge.read_seq)
+
+        # -- backbone selection --------------------------------------------------
+        if compress_mem:
+            self.backbone: List[OpEvent] = [
+                r
+                for r in trace.records
+                if r.kind in HB_KINDS or r.seq in pull_endpoints
+            ]
+        else:
+            self.backbone = list(trace.records)
+        self._bidx: Dict[int, int] = {r.seq: i for i, r in enumerate(self.backbone)}
+        self._succ: List[Set[int]] = [set() for _ in self.backbone]
+        self._reach: Optional[List[int]] = None
+
+        # Per-segment backbone positions, for nearest-backbone lookups.
+        self._seg_backbone_pos: Dict[int, List[int]] = defaultdict(list)
+        self._seg_backbone_idx: Dict[int, List[int]] = defaultdict(list)
+        for record in self.backbone:
+            segment, pos = self._position[record.seq]
+            self._seg_backbone_pos[segment].append(pos)
+            self._seg_backbone_idx[segment].append(self._bidx[record.seq])
+
+        self._build_edges()
+
+    # -- construction -----------------------------------------------------------
+
+    def add_edge(self, seq_from: int, seq_to: int, rule: str) -> bool:
+        """Add a backbone edge; both endpoints must be backbone records."""
+        if seq_from >= seq_to:
+            # Every HB edge must point forward in the executed order
+            # (sequence order is the graph's topological order).  A
+            # backward edge means a tracing-protocol bug — fail loudly
+            # instead of silently corrupting reachability.
+            from repro.errors import ReproError
+
+            raise ReproError(
+                f"backward HB edge {rule}: {seq_from} -> {seq_to}"
+            )
+        i = self._bidx.get(seq_from)
+        j = self._bidx.get(seq_to)
+        if i is None or j is None or i == j:
+            return False
+        if j in self._succ[i]:
+            return False
+        self._succ[i].add(j)
+        self.edge_counts[rule] += 1
+        self._reach = None
+        return True
+
+    def _build_edges(self) -> None:
+        from repro.hb.rules import event as event_rules
+        from repro.hb.rules import message as message_rules
+        from repro.hb.rules import program as program_rules
+        from repro.hb.rules import thread as thread_rules
+
+        if self.model.program_order:
+            program_rules.apply_program_order(self)
+        if self.model.fork_join:
+            thread_rules.apply_fork_join(self)
+        if self.model.event:
+            event_rules.apply_enqueue(self)
+        if self.model.rpc:
+            message_rules.apply_rpc(self)
+        if self.model.socket:
+            message_rules.apply_socket(self)
+        if self.model.push:
+            message_rules.apply_push(self)
+        for edge in self.pull_edges:
+            self.add_edge(edge.write_seq, edge.read_seq, f"Mpull:{edge.kind}")
+        if self.model.eserial:
+            event_rules.apply_serial_fixpoint(self)
+
+    # -- reachability -------------------------------------------------------------
+
+    def _ensure_reach(self) -> List[int]:
+        if self._reach is None:
+            self._reach = self._compute_reach()
+        return self._reach
+
+    def _compute_reach(self) -> List[int]:
+        n = len(self.backbone)
+        required = (n * n) // 8
+        if required > self.memory_budget:
+            raise TraceAnalysisOOM(
+                f"reachability matrix needs ~{required // (1024 * 1024)} MB "
+                f"for {n} backbone vertices, budget is "
+                f"{self.memory_budget // (1024 * 1024)} MB",
+                required_bytes=required,
+                budget_bytes=self.memory_budget,
+            )
+        reach = [0] * n
+        for i in range(n - 1, -1, -1):
+            acc = 0
+            for j in self._succ[i]:
+                acc |= reach[j] | (1 << j)
+            reach[i] = acc
+        return reach
+
+    def backbone_reaches(self, i: int, j: int) -> bool:
+        """Strict reachability between backbone indices."""
+        if i == j:
+            return False
+        reach = self._ensure_reach()
+        return bool((reach[i] >> j) & 1)
+
+    # -- nearest-backbone lookups ----------------------------------------------
+
+    def _next_backbone(self, record: OpEvent) -> Optional[int]:
+        """Backbone index of ``record`` itself or the next one after it
+        in its segment."""
+        if record.seq in self._bidx:
+            return self._bidx[record.seq]
+        segment, pos = self._position[record.seq]
+        positions = self._seg_backbone_pos[segment]
+        k = bisect.bisect_left(positions, pos)
+        if k >= len(positions):
+            return None
+        return self._seg_backbone_idx[segment][k]
+
+    def _prev_backbone(self, record: OpEvent) -> Optional[int]:
+        if record.seq in self._bidx:
+            return self._bidx[record.seq]
+        segment, pos = self._position[record.seq]
+        positions = self._seg_backbone_pos[segment]
+        k = bisect.bisect_right(positions, pos) - 1
+        if k < 0:
+            return None
+        return self._seg_backbone_idx[segment][k]
+
+    # -- public queries ------------------------------------------------------------
+
+    def happens_before(self, a: OpEvent, b: OpEvent) -> bool:
+        """Does ``a`` happen before ``b`` under the model's rules?"""
+        if a.seq == b.seq:
+            return False
+        seg_a, pos_a = self._position[a.seq]
+        seg_b, pos_b = self._position[b.seq]
+        if seg_a == seg_b:
+            return self.model.program_order and pos_a < pos_b
+        na = self._next_backbone(a)
+        pb = self._prev_backbone(b)
+        if na is None or pb is None:
+            return False
+        if na == pb:
+            # One backbone vertex lies between them (a <= v <= b): this can
+            # only happen when a or b *is* that vertex in another segment,
+            # which segment disjointness excludes — defensive anyway.
+            return True
+        return self.backbone_reaches(na, pb)
+
+    def concurrent(self, a: OpEvent, b: OpEvent) -> bool:
+        return not self.happens_before(a, b) and not self.happens_before(b, a)
+
+    def ordered(self, a: OpEvent, b: OpEvent) -> bool:
+        return not self.concurrent(a, b)
+
+    # -- statistics -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "vertices": len(self.trace),
+            "backbone": len(self.backbone),
+            "edges": sum(len(s) for s in self._succ),
+            "segments": len(self._segments),
+            "pull_edges": len(self.pull_edges),
+        }

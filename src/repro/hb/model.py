@@ -1,0 +1,67 @@
+"""The DCatch happens-before model (paper Section 2).
+
+``HBModel`` is the configuration of which rule families are active.  The
+full model (all rules on) is the paper's MTEP model:
+
+* **M** — message rules: Rule-Mrpc, Rule-Msoc, Rule-Mpush, Rule-Mpull;
+* **T** — thread rules: Rule-Tfork, Rule-Tjoin;
+* **E** — event rules: Rule-Eenq, Rule-Eserial;
+* **P** — program-order rules: Rule-Preg (regular threads) and Rule-Pnreg
+  (within one handler invocation), realized through per-record *segments*.
+
+Disabling a family reproduces the paper's Table 9 ablation — see
+``repro.hb.ablation`` which additionally drops the corresponding records
+from the trace (the paper ablates at the trace level, which is what makes
+missing event Begin/End records collapse handler segments into whole-
+thread program order and cause false negatives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class HBModel:
+    """Which HB rule families the analysis applies."""
+
+    rpc: bool = True  # Rule-Mrpc
+    socket: bool = True  # Rule-Msoc
+    push: bool = True  # Rule-Mpush
+    pull: bool = True  # Rule-Mpull (loop-based synchronization analysis)
+    fork_join: bool = True  # Rule-Tfork / Rule-Tjoin
+    event: bool = True  # Rule-Eenq
+    eserial: bool = True  # Rule-Eserial
+    program_order: bool = True  # Rule-Preg / Rule-Pnreg
+
+    def without(self, *families: str) -> "HBModel":
+        """A copy with the given rule families disabled."""
+        changes = {}
+        for family in families:
+            if not hasattr(self, family):
+                raise ValueError(f"unknown HB rule family: {family}")
+            changes[family] = False
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        on = [
+            name
+            for name in (
+                "rpc",
+                "socket",
+                "push",
+                "pull",
+                "fork_join",
+                "event",
+                "eserial",
+                "program_order",
+            )
+            if getattr(self, name)
+        ]
+        return "HBModel(" + ",".join(on) + ")"
+
+
+FULL_MODEL = HBModel()
+
+#: The model without the loop-based pull analysis — "TA+SP" in Table 5.
+NO_PULL_MODEL = HBModel(pull=False)

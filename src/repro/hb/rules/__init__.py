@@ -1,0 +1,1 @@
+"""Rule appliers for the MTEP happens-before model (paper Section 2)."""

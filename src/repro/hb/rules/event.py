@@ -1,0 +1,83 @@
+"""Event rules (paper Section 2.2).
+
+* Rule-Eenq: ``Create(e) => Begin(e)`` — paired by event id.
+* Rule-Eserial: for a single-consumer FIFO queue,
+  ``End(e1) => Begin(e2)`` whenever ``Create(e1) => Create(e2)``.
+
+Rule-Eserial is applied *last* and iterated to a fixpoint (paper Section
+3.2.1): each added serialization edge can order more Create pairs, which
+admits more serialization edges.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.runtime.ops import OpKind
+
+
+def apply_enqueue(graph: "object") -> int:
+    creates: Dict[object, object] = {}
+    begins: Dict[object, List[object]] = defaultdict(list)
+    for record in graph.backbone:
+        if record.kind is OpKind.EVENT_CREATE:
+            creates[record.obj_id] = record
+        elif record.kind is OpKind.EVENT_BEGIN:
+            begins[record.obj_id].append(record)
+    added = 0
+    for eid, create in creates.items():
+        for begin in begins.get(eid, []):
+            if graph.add_edge(create.seq, begin.seq, "Eenq"):
+                added += 1
+    return added
+
+
+def _collect_queue_events(graph: "object"):
+    """Per single-consumer queue: [(create, begin, end)] sorted by begin."""
+    creates: Dict[object, object] = {}
+    begins: Dict[object, object] = {}
+    ends: Dict[object, object] = {}
+    for record in graph.backbone:
+        if record.kind is OpKind.EVENT_CREATE:
+            creates[record.obj_id] = record
+        elif record.kind is OpKind.EVENT_BEGIN:
+            begins[record.obj_id] = record
+        elif record.kind is OpKind.EVENT_END:
+            ends[record.obj_id] = record
+
+    queues: Dict[object, List[Tuple[object, object, object]]] = defaultdict(list)
+    for eid, begin in begins.items():
+        if not begin.extra.get("single_consumer"):
+            continue
+        create = creates.get(eid)
+        end = ends.get(eid)
+        if create is None or end is None:
+            continue
+        queues[begin.extra.get("queue")].append((create, begin, end))
+    for items in queues.values():
+        items.sort(key=lambda t: t[1].seq)
+    return queues
+
+
+def apply_serial_fixpoint(graph: "object") -> int:
+    queues = _collect_queue_events(graph)
+    total_added = 0
+    while True:
+        additions = []
+        for items in queues.values():
+            for x in range(len(items)):
+                create1, _begin1, end1 = items[x]
+                for y in range(x + 1, len(items)):
+                    create2, begin2, _end2 = items[y]
+                    if end1.seq >= begin2.seq:
+                        continue  # not serialized forward in this run
+                    if graph.happens_before(create1, create2):
+                        additions.append((end1.seq, begin2.seq))
+        added_this_round = 0
+        for seq_from, seq_to in additions:
+            if graph.add_edge(seq_from, seq_to, "Eserial"):
+                added_this_round += 1
+        total_added += added_this_round
+        if added_this_round == 0:
+            return total_added

@@ -1,0 +1,69 @@
+"""Message rules (paper Section 2.1).
+
+* Rule-Mrpc: ``Create(r,n1) => Begin(r,n2)`` and ``End(r,n2) => Join(r,n1)``
+  — paired by the RPC tag injected at call time.
+* Rule-Msoc: ``Send(m,n1) => Recv(m,n2)`` — paired by the message tag.
+* Rule-Mpush: ``Update(s,n1) => Pushed(s,n2)`` — paired by
+  ``(znode path, zxid)``; one update may notify many subscribers.
+
+(Rule-Mpull lives in ``repro.hb.pull`` — it needs loop inference, not
+just record pairing.)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.runtime.ops import OpKind
+
+
+def _index(graph: "object", kind: OpKind) -> Dict[object, object]:
+    return {r.obj_id: r for r in graph.backbone if r.kind is kind}
+
+
+def _index_multi(graph: "object", kind: OpKind) -> Dict[object, List[object]]:
+    result: Dict[object, List[object]] = defaultdict(list)
+    for record in graph.backbone:
+        if record.kind is kind:
+            result[record.obj_id].append(record)
+    return result
+
+
+def apply_rpc(graph: "object") -> int:
+    creates = _index(graph, OpKind.RPC_CREATE)
+    begins = _index(graph, OpKind.RPC_BEGIN)
+    ends = _index(graph, OpKind.RPC_END)
+    joins = _index(graph, OpKind.RPC_JOIN)
+    added = 0
+    for tag, create in creates.items():
+        begin = begins.get(tag)
+        if begin is not None and graph.add_edge(create.seq, begin.seq, "Mrpc"):
+            added += 1
+    for tag, end in ends.items():
+        join = joins.get(tag)
+        if join is not None and graph.add_edge(end.seq, join.seq, "Mrpc"):
+            added += 1
+    return added
+
+
+def apply_socket(graph: "object") -> int:
+    sends = _index(graph, OpKind.SOCK_SEND)
+    recvs = _index_multi(graph, OpKind.SOCK_RECV)
+    added = 0
+    for tag, send in sends.items():
+        for recv in recvs.get(tag, []):
+            if graph.add_edge(send.seq, recv.seq, "Msoc"):
+                added += 1
+    return added
+
+
+def apply_push(graph: "object") -> int:
+    updates = _index(graph, OpKind.ZK_UPDATE)
+    pushes = _index_multi(graph, OpKind.ZK_PUSHED)
+    added = 0
+    for key, update in updates.items():
+        for pushed in pushes.get(key, []):
+            if graph.add_edge(update.seq, pushed.seq, "Mpush"):
+                added += 1
+    return added

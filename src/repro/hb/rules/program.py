@@ -1,0 +1,25 @@
+"""Program-order rules (paper Section 2.2).
+
+* Rule-Preg: operations of a *regular* thread are totally ordered.
+* Rule-Pnreg: operations inside an event/RPC/message handler are ordered
+  only within the same handler invocation.
+
+Both are realized by the runtime's *segments*: a regular thread has one
+segment for its whole life; each handler invocation pushes a fresh one.
+Chaining consecutive backbone records of a segment therefore implements
+exactly Preg + Pnreg; (memory accesses are ordered inside segments by
+position, see ``HBGraph.happens_before``).
+"""
+
+from __future__ import annotations
+
+
+def apply_program_order(graph: "object") -> int:
+    added = 0
+    for segment, indices in graph._seg_backbone_idx.items():
+        for k in range(len(indices) - 1):
+            a = graph.backbone[indices[k]]
+            b = graph.backbone[indices[k + 1]]
+            if graph.add_edge(a.seq, b.seq, "P"):
+                added += 1
+    return added

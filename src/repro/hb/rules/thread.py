@@ -1,0 +1,42 @@
+"""Thread rules (paper Section 2.2).
+
+* Rule-Tfork: ``Create(t) => Begin(t)``
+* Rule-Tjoin: ``End(t) => Join(t)``
+
+Records are paired by the child thread's tid (the analogue of the paper's
+thread-object hashcode ids).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.runtime.ops import OpKind
+
+
+def apply_fork_join(graph: "object") -> int:
+    creates: Dict[object, object] = {}
+    begins: Dict[object, object] = {}
+    ends: Dict[object, object] = {}
+    joins: Dict[object, List[object]] = defaultdict(list)
+    for record in graph.backbone:
+        if record.kind is OpKind.THREAD_CREATE:
+            creates[record.obj_id] = record
+        elif record.kind is OpKind.THREAD_BEGIN:
+            begins[record.obj_id] = record
+        elif record.kind is OpKind.THREAD_END:
+            ends[record.obj_id] = record
+        elif record.kind is OpKind.THREAD_JOIN:
+            joins[record.obj_id].append(record)
+
+    added = 0
+    for tid, create in creates.items():
+        begin = begins.get(tid)
+        if begin is not None and graph.add_edge(create.seq, begin.seq, "Tfork"):
+            added += 1
+    for tid, end in ends.items():
+        for join in joins.get(tid, []):
+            if graph.add_edge(end.seq, join.seq, "Tjoin"):
+                added += 1
+    return added

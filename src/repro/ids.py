@@ -1,0 +1,125 @@
+"""Identifiers and call-stack capture.
+
+The paper (Section 3.1.2) records three things per traced operation: the
+operation type, its call stack, and an ID that lets the trace analyzer
+group related records.  This module provides:
+
+* ``Frame`` / ``CallStack`` — a compact, hashable call stack restricted to
+  *system-under-test* frames (the analogue of filtering out JDK frames).
+* ``Site`` — a static program location (file, function, line); the unit of
+  deduplication for "static instruction pair" counts.
+* ``IdAllocator`` — deterministic allocation of unique ids for threads,
+  events, RPC calls, messages, heap objects.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+# Packages whose frames count as "system under test" code when capturing
+# call stacks.  The runtime substrate itself is excluded, exactly like the
+# paper excludes the RPC/event library internals from call stacks.
+_DEFAULT_STACK_PACKAGES = ("repro/systems", "examples", "tests")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One call-stack entry in system-under-test code."""
+
+    path: str
+    func: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}({self.func})"
+
+
+@dataclass(frozen=True)
+class Site:
+    """A static program location: the dedup key for bug reports."""
+
+    path: str
+    func: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    @classmethod
+    def of_frame(cls, frame: Frame) -> "Site":
+        return cls(frame.path, frame.func, frame.line)
+
+
+class CallStack(Tuple[Frame, ...]):
+    """An immutable call stack, innermost frame first."""
+
+    __slots__ = ()
+
+    @property
+    def top(self) -> Optional[Frame]:
+        return self[0] if self else None
+
+    @property
+    def site(self) -> Optional[Site]:
+        """The static site of the innermost system-under-test frame."""
+        frame = self.top
+        return Site.of_frame(frame) if frame is not None else None
+
+    def pretty(self) -> str:
+        return " <- ".join(str(f) for f in self) if self else "<no app frames>"
+
+
+def _shorten(path: str) -> str:
+    """Trim an absolute path down to its package-relative tail."""
+    for marker in ("src/repro/", "repro/"):
+        idx = path.rfind(marker)
+        if idx >= 0:
+            return path[idx:]
+    parts = path.rsplit("/", 2)
+    return "/".join(parts[-2:]) if len(parts) > 1 else path
+
+
+def capture_stack(
+    extra_packages: Iterable[str] = (),
+    limit: int = 12,
+) -> CallStack:
+    """Capture the current call stack restricted to system-under-test frames.
+
+    This is the reproduction of recording call stacks during Javassist
+    instrumentation: runtime-substrate frames are skipped so that two
+    dynamic operations issued from the same application code line share a
+    ``Site``.
+    """
+    markers = tuple(_DEFAULT_STACK_PACKAGES) + tuple(extra_packages)
+    frames = []
+    f = sys._getframe(1)
+    while f is not None and len(frames) < limit:
+        path = f.f_code.co_filename
+        if any(m in path for m in markers):
+            frames.append(Frame(_shorten(path), f.f_code.co_name, f.f_lineno))
+        f = f.f_back
+    return CallStack(frames)
+
+
+class IdAllocator:
+    """Deterministic, per-cluster unique id allocation.
+
+    The paper tags RPC calls and socket messages with random numbers
+    generated at run time; determinism of the simulation lets us use a
+    counter per category instead, which serves the same purpose (pairing
+    send/receive records) while keeping runs reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict = {}
+
+    def next(self, category: str) -> int:
+        value = self._counters.get(category, 0) + 1
+        self._counters[category] = value
+        return value
+
+    def tag(self, category: str) -> str:
+        """A readable unique tag such as ``rpc-17``."""
+        return f"{category}-{self.next(category)}"

@@ -1,0 +1,204 @@
+"""The end-to-end DCatch pipeline (paper Section 1.3).
+
+One ``DCatch(workload).run()`` performs the paper's four stages:
+
+1. **Run-time tracing** — a monitored (correct) execution of the
+   workload with the selective-scope tracer;
+2. **Trace analysis** — HB-graph construction + conflicting-concurrent
+   pair detection (including Rule-Mpull loop analysis);
+3. **Static pruning** — impact estimation over the mini system's source;
+4. **Triggering** — controlled re-executions that classify each report
+   as harmful / benign / serial.
+
+A ``PipelineResult`` carries everything the evaluation tables need:
+counts at each stage (Tables 4, 5), timings and trace sizes (Table 6),
+record breakdowns (Table 7).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.astutil import SourceIndex
+from repro.analysis.pruner import PruneResult, StaticPruner
+from repro.detect.races import DetectionResult, detect_races
+from repro.detect.report import ReportSet, Verdict
+from repro.errors import TraceAnalysisOOM
+from repro.hb.graph import DEFAULT_MEMORY_BUDGET
+from repro.hb.model import FULL_MODEL, HBModel
+from repro.runtime.cluster import RunResult
+from repro.systems.base import Workload
+from repro.trace.scope import FullScope, TracingScope, selective_scope_for
+from repro.trace.store import Trace
+from repro.trace.tracer import Tracer
+from repro.trigger.explorer import TriggerModule, TriggerOutcome
+from repro.trigger.placement import PlacementAnalyzer
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs for the pipeline; defaults match the paper's DCatch."""
+
+    scope: str = "selective"  # or "full" (Table 8's alternative design)
+    model: HBModel = FULL_MODEL
+    memory_budget: int = DEFAULT_MEMORY_BUDGET
+    interprocedural_depth: int = 1
+    prune: bool = True
+    trigger: bool = True
+    trigger_seeds: tuple = (0, 1)
+    monitored_seed: Optional[int] = None  # None = the workload's default
+
+
+@dataclass
+class PipelineResult:
+    """Everything one benchmark run of DCatch produced."""
+
+    workload: Workload
+    config: PipelineConfig
+    base_result: RunResult
+    monitored_result: RunResult
+    trace: Trace
+    detection: Optional[DetectionResult]
+    reports_pre_prune: Optional[ReportSet]
+    prune_result: Optional[PruneResult]
+    reports: Optional[ReportSet]
+    outcomes: List[TriggerOutcome] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+    oom: Optional[TraceAnalysisOOM] = None
+
+    # -- Table 4-style counts ------------------------------------------------
+
+    def verdict_counts(self, by: str = "static") -> Dict[str, int]:
+        """Counts of harmful/benign/serial reports (static or callstack)."""
+        if self.reports is None:
+            return {}
+        counter = {}
+        for verdict in (Verdict.HARMFUL, Verdict.BENIGN, Verdict.SERIAL):
+            if by == "static":
+                counter[verdict.value] = self.reports.static_count(verdict)
+            else:
+                counter[verdict.value] = self.reports.callstack_count(verdict)
+        return counter
+
+    def summary(self) -> str:
+        lines = [f"== DCatch on {self.workload.info.bug_id} =="]
+        lines.append(f"monitored run: {self.monitored_result.summary()}")
+        if self.oom is not None:
+            lines.append(f"trace analysis: OUT OF MEMORY ({self.oom})")
+            return "\n".join(lines)
+        lines.append(
+            f"trace: {len(self.trace)} records, "
+            f"{self.trace.size_bytes() / 1024:.1f} KB"
+        )
+        if self.detection is not None:
+            lines.append(
+                f"trace analysis: {len(self.detection.candidates)} dynamic "
+                f"pairs, {self.detection.static_count()} static, "
+                f"{self.detection.callstack_count()} callstack"
+            )
+        if self.prune_result is not None:
+            lines.append(f"static pruning: {self.prune_result.summary()}")
+        if self.reports is not None:
+            lines.append(f"DCatch reports: {self.reports.summary()}")
+        for key, value in sorted(self.timings.items()):
+            lines.append(f"  {key}: {value:.3f}s")
+        return "\n".join(lines)
+
+
+class DCatch:
+    """The detector, wired for one workload."""
+
+    def __init__(
+        self, workload: Workload, config: Optional[PipelineConfig] = None
+    ) -> None:
+        self.workload = workload
+        self.config = config or PipelineConfig()
+
+    # -- stages ----------------------------------------------------------------
+
+    def _make_scope(self) -> TracingScope:
+        if self.config.scope == "full":
+            return FullScope()
+        return selective_scope_for(self.workload.modules())
+
+    def run_base(self) -> RunResult:
+        """The untraced baseline run (Table 6's 'Base' column)."""
+        cluster = self.workload.cluster(self.config.monitored_seed)
+        return cluster.run()
+
+    def run_traced(self) -> tuple:
+        cluster = self.workload.cluster(self.config.monitored_seed)
+        tracer = Tracer(scope=self._make_scope(), name=self.workload.info.bug_id)
+        tracer.bind(cluster)
+        result = cluster.run()
+        return result, tracer.trace
+
+    def run(self) -> PipelineResult:
+        config = self.config
+        timings: Dict[str, float] = {}
+
+        started = time.perf_counter()
+        base_result = self.run_base()
+        timings["base_seconds"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        monitored_result, trace = self.run_traced()
+        timings["tracing_seconds"] = time.perf_counter() - started
+
+        detection = None
+        reports_pre = None
+        prune_result = None
+        reports = None
+        oom = None
+        outcomes: List[TriggerOutcome] = []
+
+        try:
+            started = time.perf_counter()
+            detection = detect_races(
+                trace, model=config.model, memory_budget=config.memory_budget
+            )
+            timings["analysis_seconds"] = time.perf_counter() - started
+
+            reports_pre = ReportSet.from_detection(detection)
+            reports = reports_pre
+
+            if config.prune:
+                started = time.perf_counter()
+                index = SourceIndex.from_modules(self.workload.modules())
+                pruner = StaticPruner.for_trace(
+                    index,
+                    trace,
+                    interprocedural_depth=config.interprocedural_depth,
+                )
+                prune_result = pruner.apply(reports_pre)
+                reports = prune_result.kept
+                timings["pruning_seconds"] = time.perf_counter() - started
+
+            if config.trigger:
+                started = time.perf_counter()
+                placement = PlacementAnalyzer(trace, detection.graph)
+                module = TriggerModule(
+                    self.workload.factory(), seeds=config.trigger_seeds
+                )
+                for report in reports:
+                    outcomes.append(module.validate_report(report, placement))
+                timings["trigger_seconds"] = time.perf_counter() - started
+        except TraceAnalysisOOM as exc:
+            oom = exc
+
+        return PipelineResult(
+            workload=self.workload,
+            config=config,
+            base_result=base_result,
+            monitored_result=monitored_result,
+            trace=trace,
+            detection=detection,
+            reports_pre_prune=reports_pre,
+            prune_result=prune_result,
+            reports=reports,
+            outcomes=outcomes,
+            timings=timings,
+            oom=oom,
+        )

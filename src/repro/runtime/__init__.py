@@ -1,0 +1,108 @@
+"""Simulated distributed-system runtime substrate.
+
+This package is the substitute for the real Java cloud systems the paper
+instruments: a deterministic cooperative scheduler plus every concurrency
+and communication mechanism of the paper's Table 1 — threads (fork/join),
+FIFO event queues, synchronous RPC, asynchronous sockets, a ZooKeeper-like
+coordination service with watches, shared-memory heap objects and locks.
+"""
+
+from repro.runtime.api import me, sleep, yield_now
+from repro.runtime.cluster import Cluster, RunResult
+from repro.runtime.events import Event, EventQueue
+from repro.runtime.failures import FailureEvent, FailureKind, FailureLog
+from repro.runtime.heap import (
+    SharedCounter,
+    SharedDict,
+    SharedList,
+    SharedObject,
+    SharedSet,
+    SharedVar,
+)
+from repro.runtime.locks import SimCondition, SimLock, SimSemaphore, synchronized
+from repro.runtime.network import (
+    Delivery,
+    FlakyNetwork,
+    NetworkPolicy,
+    ReliableNetwork,
+)
+from repro.runtime.node import Node
+from repro.runtime.replay import RecordingStrategy, ReplayStrategy
+from repro.runtime.ops import HB_KINDS, Interceptor, Location, MEM_KINDS, OpEvent, OpKind
+from repro.runtime.rpc import RpcProxy, RpcServer, call_rpc
+from repro.runtime.scheduler import (
+    PreferredThreadStrategy,
+    RandomStrategy,
+    RoundRobinStrategy,
+    Scheduler,
+    SchedulingStrategy,
+    SimThread,
+    ThreadState,
+    current_sim_thread,
+)
+from repro.runtime.sockets import Message, SocketManager
+from repro.runtime.zookeeper import (
+    NODE_CHILDREN_CHANGED,
+    NODE_CREATED,
+    NODE_DATA_CHANGED,
+    NODE_DELETED,
+    CoordinationService,
+    WatchEvent,
+    ZkClient,
+)
+
+__all__ = [
+    "Cluster",
+    "RunResult",
+    "Node",
+    "Event",
+    "EventQueue",
+    "FailureEvent",
+    "FailureKind",
+    "FailureLog",
+    "SharedCounter",
+    "SharedDict",
+    "SharedList",
+    "SharedObject",
+    "SharedSet",
+    "SharedVar",
+    "SimLock",
+    "SimCondition",
+    "SimSemaphore",
+    "synchronized",
+    "NetworkPolicy",
+    "ReliableNetwork",
+    "FlakyNetwork",
+    "Delivery",
+    "Interceptor",
+    "OpEvent",
+    "OpKind",
+    "Location",
+    "HB_KINDS",
+    "MEM_KINDS",
+    "RpcProxy",
+    "RpcServer",
+    "call_rpc",
+    "Scheduler",
+    "SchedulingStrategy",
+    "RandomStrategy",
+    "RoundRobinStrategy",
+    "RecordingStrategy",
+    "ReplayStrategy",
+    "PreferredThreadStrategy",
+    "SimThread",
+    "ThreadState",
+    "current_sim_thread",
+    "Message",
+    "SocketManager",
+    "CoordinationService",
+    "ZkClient",
+    "WatchEvent",
+    "NODE_CREATED",
+    "NODE_DELETED",
+    "NODE_DATA_CHANGED",
+    "NODE_CHILDREN_CHANGED",
+    "sleep",
+    "yield_now",
+    "me",
+]

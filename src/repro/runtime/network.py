@@ -1,0 +1,93 @@
+"""Network fault injection: message delays, drops, and partitions.
+
+Distributed systems are defined by what the network does to them.  The
+default policy delivers every message immediately (in send order); the
+``FlakyNetwork`` policy injects seeded, deterministic faults:
+
+* per-message delivery *delay* (messages to one node can reorder —
+  exactly the nondeterminism DCbugs feed on),
+* probabilistic *drops* (exercises the systems' retry loops),
+* named *partitions* (everything between two groups is dropped).
+
+Faults never weaken the HB model: Rule-Msoc only orders a ``Send`` with
+the ``Recv`` that actually happened; dropped sends simply contribute no
+edge.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set, Tuple
+
+
+@dataclass
+class Delivery:
+    """What the policy decided for one message."""
+
+    deliver: bool
+    delay: int = 0  # logical clock ticks
+
+
+class NetworkPolicy:
+    """Decides the fate of every socket message."""
+
+    def plan(self, src: str, dst: str, verb: str) -> Delivery:
+        raise NotImplementedError
+
+
+class ReliableNetwork(NetworkPolicy):
+    """The default: instant, ordered, lossless."""
+
+    def plan(self, src: str, dst: str, verb: str) -> Delivery:
+        return Delivery(deliver=True, delay=0)
+
+
+class FlakyNetwork(NetworkPolicy):
+    """Seeded faults: delay ranges, drop probability, partitions."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        max_delay: int = 0,
+        drop_probability: float = 0.0,
+        protected_verbs: Iterable[str] = ("zk-notify",),
+    ) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be within [0, 1]")
+        self._rng = random.Random(seed)
+        self.max_delay = max_delay
+        self.drop_probability = drop_probability
+        #: Verbs that are never dropped (coordination-service traffic —
+        #: real ZooKeeper sessions resend internally).
+        self.protected_verbs = set(protected_verbs)
+        self._partitions: Set[Tuple[str, str]] = set()
+
+    # -- partitions -----------------------------------------------------------
+
+    def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> None:
+        """Cut all links between two node groups (both directions)."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add((a, b))
+                self._partitions.add((b, a))
+
+    def heal(self) -> None:
+        self._partitions.clear()
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._partitions
+
+    # -- policy ------------------------------------------------------------------
+
+    def plan(self, src: str, dst: str, verb: str) -> Delivery:
+        if self.is_partitioned(src, dst):
+            return Delivery(deliver=False)
+        if (
+            verb not in self.protected_verbs
+            and self.drop_probability > 0.0
+            and self._rng.random() < self.drop_probability
+        ):
+            return Delivery(deliver=False)
+        delay = self._rng.randint(0, self.max_delay) if self.max_delay else 0
+        return Delivery(deliver=True, delay=delay)

@@ -1,0 +1,142 @@
+"""A simulated node: threads, RPC endpoint, sockets, queues, heap, locks."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.runtime import failures as failures_mod
+from repro.runtime.events import EventQueue
+from repro.runtime.heap import (
+    SharedCounter,
+    SharedDict,
+    SharedList,
+    SharedSet,
+    SharedVar,
+)
+from repro.runtime.locks import SimLock
+from repro.runtime.ops import OpKind
+from repro.runtime.rpc import RpcProxy, RpcServer
+from repro.runtime.scheduler import SimThread, ThreadState, current_sim_thread
+from repro.runtime.sockets import SocketManager
+
+
+class Node:
+    """One machine of the simulated distributed system."""
+
+    def __init__(
+        self,
+        cluster: "object",
+        name: str,
+        traced: bool = True,
+        rpc_threads: int = 1,
+        msg_threads: int = 1,
+    ) -> None:
+        self.cluster = cluster
+        self.name = name
+        self.traced = traced
+        self.crashed = False
+        self.log = failures_mod.Logger(
+            self, cluster.failures, verbose=cluster.verbose
+        )
+        self.rpc_server = RpcServer(self, handler_threads=rpc_threads)
+        self.sockets = SocketManager(self, dispatch_threads=msg_threads)
+        self._queues: Dict[str, EventQueue] = {}
+        self._locks: Dict[str, SimLock] = {}
+        self._zk_client: Optional[object] = None
+
+    # -- threads ------------------------------------------------------------
+
+    def spawn(
+        self, fn: Callable[[], None], name: Optional[str] = None, daemon: bool = False
+    ) -> SimThread:
+        """Fork a thread on this node (records Rule-Tfork's Create/Begin)."""
+        label = name or getattr(fn, "__name__", "thread")
+        if not label.startswith(f"{self.name}."):
+            label = f"{self.name}.{label}"
+        tid_holder: Dict[str, int] = {}
+
+        def wrapper() -> None:
+            self.cluster.op(OpKind.THREAD_BEGIN, tid_holder["tid"])
+            fn()
+            self.cluster.op(OpKind.THREAD_END, tid_holder["tid"])
+
+        thread = self.cluster.scheduler.spawn(
+            wrapper, name=label, node=self, daemon=daemon, start=False
+        )
+        tid_holder["tid"] = thread.tid
+        # Record the fork before the child becomes runnable, so
+        # Create(t) precedes Begin(t) in execution order (Rule-Tfork).
+        self.cluster.op(OpKind.THREAD_CREATE, thread.tid, extra={"child": label})
+        thread.start()
+        return thread
+
+    def join(self, thread: SimThread) -> None:
+        """Wait for ``thread`` to finish (records Rule-Tjoin's Join)."""
+        me = current_sim_thread()
+        me.block_until(
+            lambda: thread.state in (ThreadState.DONE, ThreadState.FAILED),
+            f"join:{thread.name}",
+        )
+        self.cluster.op(OpKind.THREAD_JOIN, thread.tid, extra={"child": thread.name})
+
+    # -- communication ------------------------------------------------------
+
+    def rpc(self, target_name: str) -> RpcProxy:
+        return RpcProxy(self, target_name)
+
+    def send(self, target_name: str, verb: str, payload: Any = None) -> str:
+        return self.sockets.send(target_name, verb, payload)
+
+    def on_message(self, verb: str, handler: Callable[[Any, str], None]) -> None:
+        self.sockets.register(verb, handler)
+
+    def event_queue(self, name: str, consumers: int = 1) -> EventQueue:
+        queue = self._queues.get(name)
+        if queue is None:
+            queue = EventQueue(self, name, consumers=consumers)
+            self._queues[name] = queue
+        return queue
+
+    def zk(self, service_name: str = "zk") -> "object":
+        if self._zk_client is None:
+            from repro.runtime.zookeeper import ZkClient
+
+            self._zk_client = ZkClient(self, service_name)
+        return self._zk_client
+
+    # -- state --------------------------------------------------------------
+
+    def shared_var(self, name: str, initial: Any = None) -> SharedVar:
+        return SharedVar(self.cluster, f"{self.name}.{name}", initial, node=self)
+
+    def shared_dict(self, name: str) -> SharedDict:
+        return SharedDict(self.cluster, f"{self.name}.{name}", node=self)
+
+    def shared_list(self, name: str) -> SharedList:
+        return SharedList(self.cluster, f"{self.name}.{name}", node=self)
+
+    def shared_set(self, name: str) -> SharedSet:
+        return SharedSet(self.cluster, f"{self.name}.{name}", node=self)
+
+    def shared_counter(self, name: str, initial: int = 0) -> SharedCounter:
+        return SharedCounter(self.cluster, f"{self.name}.{name}", initial, node=self)
+
+    def lock(self, name: str) -> SimLock:
+        lock = self._locks.get(name)
+        if lock is None:
+            lock = SimLock(self.cluster, f"{self.name}.{name}")
+            self._locks[name] = lock
+        return lock
+
+    # -- failure ------------------------------------------------------------
+
+    def abort(self, message: str) -> None:
+        """The analogue of ``System.exit`` — a failure instruction."""
+        failures_mod.abort(self, message)
+
+    def crash(self) -> None:
+        """Mark the node dead: future RPCs to it fail, messages are dropped."""
+        self.crashed = True
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name}{' (crashed)' if self.crashed else ''}>"

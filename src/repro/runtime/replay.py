@@ -1,0 +1,80 @@
+"""Schedule recording and exact replay.
+
+Determinism by seed already makes every run reproducible *given the same
+strategy*; recording goes further: it captures the exact sequence of
+scheduling decisions so a run can be replayed under a different harness
+(e.g. re-running a failure the trigger module produced, without the
+gates installed, to watch it in isolation).
+
+Usage::
+
+    recorder = RecordingStrategy(RandomStrategy(seed))
+    cluster = Cluster(strategy=recorder, ...)
+    cluster.run()
+    schedule = recorder.schedule          # list of thread names
+
+    replayed = Cluster(strategy=ReplayStrategy(schedule), ...)
+    replayed.run()                        # identical interleaving
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.runtime.scheduler import RandomStrategy, SchedulingStrategy, SimThread
+
+
+class RecordingStrategy(SchedulingStrategy):
+    """Wraps another strategy and records every pick (by thread name)."""
+
+    def __init__(self, inner: Optional[SchedulingStrategy] = None) -> None:
+        self.inner = inner or RandomStrategy(0)
+        self.schedule: List[str] = []
+
+    def pick(self, runnable: List[SimThread], step: int) -> SimThread:
+        choice = self.inner.pick(runnable, step)
+        self.schedule.append(choice.name)
+        return choice
+
+
+class ReplayStrategy(SchedulingStrategy):
+    """Replays a recorded schedule, by thread name.
+
+    Replay only works against the same workload build (same thread
+    names, same program).  If the recorded thread is not runnable at
+    some step — the workload diverged — a ``ReproError`` pinpoints the
+    divergence instead of silently drifting.
+    """
+
+    def __init__(
+        self,
+        schedule: List[str],
+        fallback: Optional[SchedulingStrategy] = None,
+    ) -> None:
+        self.schedule = list(schedule)
+        self.fallback = fallback
+        self._cursor = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self.schedule)
+
+    def pick(self, runnable: List[SimThread], step: int) -> SimThread:
+        if self.exhausted:
+            if self.fallback is not None:
+                return self.fallback.pick(runnable, step)
+            raise ReproError(
+                f"replay schedule exhausted at step {step}; the run is "
+                "longer than the recording (pass a fallback strategy)"
+            )
+        wanted = self.schedule[self._cursor]
+        self._cursor += 1
+        for thread in runnable:
+            if thread.name == wanted:
+                return thread
+        names = [t.name for t in runnable]
+        raise ReproError(
+            f"replay diverged at step {step}: recorded {wanted!r} is not "
+            f"runnable (runnable: {names})"
+        )

@@ -1,0 +1,151 @@
+"""Synchronous RPC (paper Section 2.1, Rule-Mrpc).
+
+A thread on node ``n1`` calls an RPC method implemented by node ``n2`` and
+blocks until the result comes back.  The four HB-relevant operations are
+recorded with a shared per-call tag (the analogue of the paper's run-time
+random tagging, Section 6):
+
+* ``RPC_CREATE`` on the caller thread (``Create(r, n1)``),
+* ``RPC_BEGIN`` / ``RPC_END`` on the server handler thread (``Begin``/
+  ``End (r, n2)``) inside a fresh segment (Rule-Pnreg),
+* ``RPC_JOIN`` on the caller thread after unblocking (``Join(r, n1)``).
+
+Incoming calls sit in a FIFO request queue served by one or more handler
+threads; the queue itself is abstracted away from the HB model exactly as
+the paper's Rule-Mrpc abstracts away the RPC library internals.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.errors import ReproError, RpcError, SimFailure
+from repro.runtime.ops import OpKind
+from repro.runtime.scheduler import current_sim_thread
+
+
+class RpcRequest:
+    """One in-flight RPC call."""
+
+    def __init__(
+        self, tag: str, method: str, args: tuple, kwargs: dict, caller: str
+    ) -> None:
+        self.tag = tag
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+        self.caller = caller
+        self.result: Any = None
+        self.error: Optional[SimFailure] = None
+        self.done = False
+
+
+class RpcServer:
+    """Per-node RPC endpoint: registered methods + handler threads."""
+
+    def __init__(self, node: "object", handler_threads: int = 1) -> None:
+        self.node = node
+        self.cluster = node.cluster
+        self._methods: Dict[str, Callable] = {}
+        self._queue: Deque[RpcRequest] = deque()
+        self.handler_threads: List[object] = []
+        for i in range(handler_threads):
+            suffix = f"-{i}" if handler_threads > 1 else ""
+            t = node.spawn(
+                self._serve_loop, name=f"{node.name}.rpc{suffix}", daemon=True
+            )
+            self.handler_threads.append(t)
+
+    def register(self, method: str, fn: Callable) -> None:
+        if method in self._methods:
+            raise ReproError(f"RPC method {method} already registered")
+        self._methods[method] = fn
+
+    def export(self, obj: object, prefix: str = "") -> None:
+        """Register every public method of ``obj`` as an RPC method.
+
+        The analogue of implementing a ``VersionedProtocol`` interface:
+        the object *is* the protocol.
+        """
+        for name in dir(obj):
+            if name.startswith("_"):
+                continue
+            fn = getattr(obj, name)
+            if callable(fn):
+                self.register(prefix + name, fn)
+
+    def submit(self, request: RpcRequest) -> None:
+        self._queue.append(request)
+
+    def _serve_loop(self) -> None:
+        me = current_sim_thread()
+        while True:
+            me.block_until(lambda: bool(self._queue), f"rpc-server:{self.node.name}")
+            if not self._queue:
+                continue
+            request = self._queue.popleft()
+            self._handle(request)
+
+    def _handle(self, request: RpcRequest) -> None:
+        fn = self._methods.get(request.method)
+        thread = current_sim_thread()
+        thread.push_segment()
+        meta = {
+            "method": request.method,
+            "caller": request.caller,
+            "handler": getattr(fn, "__qualname__", str(fn)),
+            "handler_thread": thread.name,
+            "handler_threads": len(self.handler_threads),
+        }
+        self.cluster.op(OpKind.RPC_BEGIN, request.tag, extra=dict(meta))
+        try:
+            if fn is None:
+                request.error = RpcError(
+                    f"{self.node.name}: no such RPC method {request.method}"
+                )
+            else:
+                try:
+                    request.result = fn(*request.args, **request.kwargs)
+                except SimFailure as exc:
+                    request.error = exc
+        finally:
+            self.cluster.op(OpKind.RPC_END, request.tag, extra=dict(meta))
+            thread.pop_segment()
+            request.done = True
+
+
+def call_rpc(
+    caller_node: "object", target_name: str, method: str, *args: Any, **kwargs: Any
+) -> Any:
+    """Blocking RPC from the current thread to ``target_name.method``."""
+    cluster = caller_node.cluster
+    target = cluster.node(target_name)
+    if target.crashed:
+        raise RpcError(f"RPC {method} to crashed node {target_name}")
+    tag = cluster.ids.tag("rpc")
+    meta = {"method": method, "target": target_name, "caller": caller_node.name}
+    cluster.op(OpKind.RPC_CREATE, tag, extra=dict(meta))
+    request = RpcRequest(tag, method, args, kwargs, caller_node.name)
+    target.rpc_server.submit(request)
+    me = current_sim_thread()
+    me.block_until(lambda: request.done, f"rpc:{method}@{target_name}")
+    cluster.op(OpKind.RPC_JOIN, tag, extra=dict(meta))
+    if request.error is not None:
+        raise request.error
+    return request.result
+
+
+class RpcProxy:
+    """Attribute-style sugar: ``node.rpc("AM").get_task(jid)``."""
+
+    def __init__(self, caller_node: "object", target_name: str) -> None:
+        self._caller = caller_node
+        self._target = target_name
+
+    def __getattr__(self, method: str) -> Callable:
+        def invoke(*args: Any, **kwargs: Any) -> Any:
+            return call_rpc(self._caller, self._target, method, *args, **kwargs)
+
+        invoke.__name__ = method
+        return invoke

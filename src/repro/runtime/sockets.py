@@ -1,0 +1,141 @@
+"""Asynchronous socket messaging (paper Section 2.1, Rule-Msoc).
+
+A sender thread posts a verb-tagged message to another node and continues
+immediately; the receiving node's message-dispatch thread runs the handler
+registered for that verb.  ``SOCK_SEND`` is recorded on the sender,
+``SOCK_RECV`` on the receiver at handler begin, both carrying the same
+message tag — the analogue of the paper's extra tag field injected into
+socket message objects (Section 6).
+
+This mirrors Cassandra's ``IVerbHandler`` / ``sendOneWay`` structure and
+ZooKeeper's ``Record``-based messaging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.runtime.ops import OpKind
+from repro.runtime.scheduler import current_sim_thread
+
+VerbHandler = Callable[[Any, str], None]  # (payload, source_node_name)
+
+
+class Message:
+    def __init__(
+        self,
+        tag: str,
+        verb: str,
+        payload: Any,
+        src: str,
+        dst: str,
+        deliver_at: int = 0,
+    ) -> None:
+        self.tag = tag
+        self.verb = verb
+        self.payload = payload
+        self.src = src
+        self.dst = dst
+        self.deliver_at = deliver_at
+
+    def __repr__(self) -> str:
+        return f"<Message {self.verb} {self.src}->{self.dst} {self.tag}>"
+
+
+class SocketManager:
+    """Per-node inbox plus verb-dispatch threads."""
+
+    def __init__(self, node: "object", dispatch_threads: int = 1) -> None:
+        self.node = node
+        self.cluster = node.cluster
+        self._handlers: Dict[str, VerbHandler] = {}
+        self._inbox: Deque[Message] = deque()
+        self.dropped = 0  # messages the network policy discarded
+        self.cluster.scheduler.add_wake_hint(self._next_delivery_time)
+        self.dispatch_thread_objs: List[object] = []
+        for i in range(dispatch_threads):
+            suffix = f"-{i}" if dispatch_threads > 1 else ""
+            t = node.spawn(
+                self._dispatch_loop, name=f"{node.name}.msg{suffix}", daemon=True
+            )
+            self.dispatch_thread_objs.append(t)
+
+    def register(self, verb: str, handler: VerbHandler) -> None:
+        if verb in self._handlers:
+            raise ReproError(f"verb handler {verb} already registered")
+        self._handlers[verb] = handler
+
+    def deliver(self, message: Message) -> None:
+        self._inbox.append(message)
+
+    def send(self, target_name: str, verb: str, payload: Any = None) -> str:
+        """Fire-and-forget send from the current thread; returns the tag.
+
+        Delivery (and whether it happens at all) is up to the cluster's
+        network policy — see ``repro.runtime.network``.
+        """
+        target = self.cluster.node(target_name)
+        tag = self.cluster.ids.tag("msg")
+        delivery = self.cluster.network.plan(self.node.name, target_name, verb)
+        meta = {"verb": verb, "src": self.node.name, "dst": target_name}
+        if not delivery.deliver:
+            meta["dropped"] = True
+        self.cluster.op(OpKind.SOCK_SEND, tag, extra=dict(meta))
+        if target.crashed or not delivery.deliver:
+            target.sockets.dropped += 1
+            return tag
+        deliver_at = self.cluster.scheduler.clock + delivery.delay
+        target.sockets.deliver(
+            Message(tag, verb, payload, self.node.name, target_name, deliver_at)
+        )
+        return tag
+
+    def _next_delivery_time(self) -> Optional[int]:
+        """Wake hint: earliest pending delayed delivery, if any."""
+        pending = [m.deliver_at for m in self._inbox]
+        return min(pending) if pending else None
+
+    def _pop_ready(self) -> Optional[Message]:
+        clock = self.cluster.scheduler.clock
+        for index, message in enumerate(self._inbox):
+            if message.deliver_at <= clock:
+                del self._inbox[index]
+                return message
+        return None
+
+    def _has_ready(self) -> bool:
+        clock = self.cluster.scheduler.clock
+        return any(m.deliver_at <= clock for m in self._inbox)
+
+    def _dispatch_loop(self) -> None:
+        me = current_sim_thread()
+        while True:
+            me.block_until(self._has_ready, f"inbox:{self.node.name}")
+            message = self._pop_ready()
+            if message is None:
+                continue
+            self._dispatch(message)
+
+    def _dispatch(self, message: Message) -> None:
+        handler = self._handlers.get(message.verb)
+        thread = current_sim_thread()
+        thread.push_segment()
+        meta = {
+            "verb": message.verb,
+            "src": message.src,
+            "dst": message.dst,
+            "handler": getattr(handler, "__qualname__", str(handler)),
+        }
+        self.cluster.op(OpKind.SOCK_RECV, message.tag, extra=dict(meta))
+        try:
+            if handler is None:
+                self.node.log.warn(f"no verb handler for {message.verb}")
+            else:
+                handler(message.payload, message.src)
+        finally:
+            thread.pop_segment()
+
+    def pending(self) -> int:
+        return len(self._inbox)

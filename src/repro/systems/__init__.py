@@ -1,0 +1,21 @@
+"""The four mini cloud systems and seven benchmark workloads (Table 3)."""
+
+from repro.systems.base import BenchmarkInfo, Workload
+from repro.systems.extra import EXTRA_WORKLOAD_CLASSES, extra_workloads
+from repro.systems.registry import (
+    WORKLOAD_CLASSES,
+    all_workloads,
+    systems,
+    workload_by_id,
+)
+
+__all__ = [
+    "Workload",
+    "BenchmarkInfo",
+    "WORKLOAD_CLASSES",
+    "all_workloads",
+    "workload_by_id",
+    "systems",
+    "extra_workloads",
+    "EXTRA_WORKLOAD_CLASSES",
+]

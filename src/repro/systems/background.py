@@ -1,0 +1,40 @@
+"""Background bookkeeping churn for the mini systems.
+
+Real cloud systems spend most of their memory traffic on *local*
+housekeeping — block caches, compaction bookkeeping, container resource
+monitors — none of it related to inter-node communication.  DCatch's
+selective tracing exists precisely to skip this traffic (paper Section
+3.1.1); Table 8 shows that tracing it anyway blows the trace up ~40x and
+makes the analysis run out of memory.
+
+``start_churn`` gives each mini system that housekeeping load: a daemon
+thread scanning a private table in rounds.  Under the selective scope the
+accesses are dropped (not a handler, not a communication function); under
+the full scope every access lands in the trace.  The accesses are
+single-threaded, so they never add DCbug candidates — only bulk.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import sleep
+from repro.runtime.node import Node
+
+
+def start_churn(
+    node: Node,
+    name: str = "housekeeping",
+    entries: int = 40,
+    rounds: int = 30,
+    interval: int = 2,
+) -> None:
+    """Run ``rounds`` scans of an ``entries``-slot private table."""
+    table = node.shared_dict(f"{name}-table")
+
+    def churn() -> None:
+        for round_no in range(rounds):
+            for key in range(entries):
+                table.put(key, round_no)
+                table.get(key)
+            sleep(interval)
+
+    node.spawn(churn, name=f"{node.name}.{name}")

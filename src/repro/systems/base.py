@@ -1,0 +1,128 @@
+"""Workload abstraction: one benchmark of the paper's Table 3.
+
+A ``Workload`` knows how to wire a fresh cluster with one of the four
+mini systems running one failure-prone scenario.  The DCatch pipeline
+builds clusters through workloads:
+
+* the *monitored* run (correct execution) produces the trace;
+* the trigger module re-builds fresh clusters per ordering experiment.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """Table 3 metadata for one benchmark bug."""
+
+    bug_id: str  # e.g. "MR-3274"
+    system: str  # e.g. "Hadoop MapReduce"
+    workload: str  # e.g. "startup + wordcount"
+    symptom: str  # e.g. "Hang"
+    error_pattern: str  # LE / LH / DE / DH
+    root_cause: str  # OV / AV
+
+
+class Workload:
+    """Base class: subclasses wire one scenario onto a cluster."""
+
+    #: Table 3 metadata; subclasses must set this.
+    info: BenchmarkInfo
+
+    #: Scheduler seed whose run is known-correct (the monitored run).
+    default_seed: int = 0
+
+    #: Step budget for monitored runs (churn included).
+    max_steps: int = 60_000
+
+    #: Step budget for trigger re-runs (no churn; hangs surface fast).
+    trigger_max_steps: int = 5_000
+
+    #: Background housekeeping load: (node name, entries, rounds) per
+    #: churn thread.  This is the local memory traffic that selective
+    #: tracing skips and full tracing records (Table 8).
+    churn_profile: tuple = ()
+
+    #: Override when the workload's system code lives outside the
+    #: workload class's own package (e.g. the beyond-benchmark workloads
+    #: reuse mini-system packages).  Names of importable packages.
+    source_packages: tuple = ()
+
+    def build(self, cluster: Cluster) -> None:
+        raise NotImplementedError
+
+    # -- cluster construction ------------------------------------------------
+
+    def cluster(self, seed: Optional[int] = None, churn: bool = True) -> Cluster:
+        cluster = Cluster(
+            name=self.info.bug_id,
+            seed=self.default_seed if seed is None else seed,
+            max_steps=self.max_steps if churn else self.trigger_max_steps,
+        )
+        self.build(cluster)
+        if churn:
+            self._start_churn(cluster)
+        return cluster
+
+    def _start_churn(self, cluster: Cluster) -> None:
+        from repro.systems.background import start_churn
+
+        for node_name, entries, rounds in self.churn_profile:
+            start_churn(cluster.node(node_name), entries=entries, rounds=rounds)
+
+    def factory(self) -> Callable[[int], Cluster]:
+        """Cluster factory for trigger re-runs (housekeeping churn off —
+        it shares no state with any candidate and only adds steps)."""
+
+        def make(seed: int) -> Cluster:
+            return self.cluster(seed, churn=False)
+
+        return make
+
+    # -- sources for static analysis -------------------------------------------
+
+    def modules(self) -> List[ModuleType]:
+        """Modules containing this workload's system code (for the
+        static pruner's SourceIndex and the tracer's comm-function scan)."""
+        import importlib
+
+        if self.source_packages:
+            package_names = list(self.source_packages)
+        else:
+            module = inspect.getmodule(type(self))
+            package_names = [module.__name__.rsplit(".", 1)[0]]
+        result = []
+        for package_name in package_names:
+            package = importlib.import_module(package_name)
+            package_dir = os.path.dirname(package.__file__)
+            for entry in sorted(os.listdir(package_dir)):
+                if entry.endswith(".py") and not entry.startswith("_"):
+                    result.append(
+                        importlib.import_module(f"{package_name}.{entry[:-3]}")
+                    )
+        return result
+
+    def lines_of_code(self) -> int:
+        """Real LoC of the mini system (Table 3's LoC column analogue)."""
+        total = 0
+        for module in self.modules():
+            try:
+                source = inspect.getsource(module)
+            except (OSError, TypeError):
+                continue
+            total += sum(
+                1 for line in source.splitlines() if line.strip() and not
+                line.strip().startswith("#")
+            )
+        return total
+
+    def __repr__(self) -> str:
+        return f"<Workload {self.info.bug_id}>"

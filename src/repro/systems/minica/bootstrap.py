@@ -1,0 +1,48 @@
+"""The bootstrapping node: announce via gossip, pull-wait for the ack."""
+
+from __future__ import annotations
+
+from repro.runtime import sleep
+from repro.runtime.cluster import Cluster
+
+
+class BootstrapNode:
+    """A node joining the ring."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        name: str = "ca2",
+        seed: str = "ca1",
+        token: int = 42,
+    ) -> None:
+        self.cluster = cluster
+        self.node = cluster.add_node(name)
+        self.log = self.node.log
+        self.seed = seed
+        self.token = token
+        self.acked = self.node.shared_var("acked", False)
+        self.store = self.node.shared_dict("store")
+        self.node.on_message("gossip-ack", self.on_gossip_ack)
+        self.node.on_message("replicate", self.on_replicate)
+        self.node.on_message("read-repair", self.on_read_repair)
+        self.node.spawn(self.run_bootstrap, name="bootstrap-main")
+
+    def on_gossip_ack(self, payload, src: str) -> None:
+        self.acked.set(True)
+
+    def on_replicate(self, payload, src: str) -> None:
+        self.store.put(payload["key"], payload["value"])
+
+    def on_read_repair(self, payload, src: str) -> None:
+        current = self.store.get(payload["key"])
+        if current != payload["value"] and payload["value"] is not None:
+            self.store.put(payload["key"], payload["value"])
+
+    def run_bootstrap(self) -> None:
+        self.node.send(self.seed, "gossip", {"token": self.token})
+        # Custom pull-based synchronization: poll until the seed has
+        # acked our digest (Rule-Mpull material).
+        while not self.acked.get():
+            sleep(3)
+        self.log.info("bootstrap complete; serving as backup replica")

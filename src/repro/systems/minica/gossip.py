@@ -1,0 +1,102 @@
+"""The seed node: gossip stage, token map, write path (CA-1011)."""
+
+from __future__ import annotations
+
+from repro.runtime import sleep
+from repro.runtime.cluster import Cluster
+
+
+class SeedNode:
+    """An established ring member that accepts writes."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        name: str = "ca1",
+        replication: int = 2,
+    ) -> None:
+        self.cluster = cluster
+        self.node = cluster.add_node(name)
+        self.log = self.node.log
+        self.replication = replication
+        self.tokens = self.node.shared_dict("tokens")
+        self.store = self.node.shared_dict("store")
+        self.digests_seen = self.node.shared_counter("digests_seen")
+        self.gossip_stage = self.node.event_queue("gossip-stage", consumers=1)
+        self.gossip_stage.register("digest", self.on_gossip_digest)
+        self.node.on_message("gossip", self.on_gossip_message)
+        self.node.on_message("replicate", self.on_replicate)
+        self.node.on_message("read-repair", self.on_read_repair)
+
+        def register_self() -> None:
+            self.tokens.put(self.node.name, 0)
+
+        self.node.spawn(register_self, name="register-self")
+
+    # -- gossip ----------------------------------------------------------
+
+    def on_gossip_message(self, payload, src: str) -> None:
+        """Socket handler: queue the digest for the gossip stage."""
+        self.gossip_stage.post("digest", {"src": src, **payload})
+
+    def on_gossip_digest(self, event) -> None:
+        """Gossip-stage handler: learn the sender's token, ack it."""
+        src = event.payload["src"]
+        self.tokens.put(src, event.payload["token"])
+        with self.node.lock("gossip-state"):
+            self.digests_seen.increment()
+        self.node.send(src, "gossip-ack", {"seen": src})
+
+    # -- write path (races with gossip on the token map) --------------------
+
+    def client_write(self, key: str, value: str) -> None:
+        """One write request: store locally, replicate to backups.
+
+        CA-1011: the replica targets are computed from the token map; if
+        the bootstrapping node's gossip has not been applied yet, the
+        backup copy silently goes missing.
+        """
+        self.store.put(key, value)
+        targets = self.tokens.keys()
+        if len(targets) < self.replication:
+            self.log.error(
+                f"write {key}: only {len(targets)} replica target(s), "
+                f"need {self.replication} — backup copy lost"
+            )
+            return
+        for target in targets:
+            if target != self.node.name:
+                self.node.send(target, "replicate", {"key": key, "value": value})
+
+    def start_writer(self, key: str, value: str, delay: int) -> None:
+        def writer() -> None:
+            sleep(delay)
+            self.client_write(key, value)
+
+        self.node.spawn(writer, name="writer")
+
+    def on_replicate(self, payload, src: str) -> None:
+        self.store.put(payload["key"], payload["value"])
+
+    # -- read path with read repair ---------------------------------------
+
+    def client_read(self, key: str) -> str:
+        """Read with digest comparison against the backup replicas.
+
+        If a replica's copy is stale, send it a repair (Cassandra's read
+        repair).  This path has *no* seeded bug: its races with the write
+        path are tolerated by design — a regression check that DCatch
+        classifies them correctly.
+        """
+        value = self.store.get(key)
+        for target in self.tokens.keys():
+            if target != self.node.name:
+                self.node.send(
+                    target, "read-repair", {"key": key, "value": value}
+                )
+        return value
+
+    def on_read_repair(self, payload, src: str) -> None:
+        current = self.store.get(payload["key"])
+        if current != payload["value"] and payload["value"] is not None:
+            self.store.put(payload["key"], payload["value"])

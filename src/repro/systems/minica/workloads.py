@@ -1,0 +1,31 @@
+"""mini-Cassandra benchmark workload (Table 3: CA-1011)."""
+
+from __future__ import annotations
+
+from repro.runtime.cluster import Cluster
+from repro.systems.base import BenchmarkInfo, Workload
+from repro.systems.minica.bootstrap import BootstrapNode
+from repro.systems.minica.gossip import SeedNode
+
+
+class CA1011Workload(Workload):
+    """startup: bootstrap gossip vs write-path replica selection (DE/AV)."""
+
+    info = BenchmarkInfo(
+        bug_id="CA-1011",
+        system="Cassandra",
+        workload="startup",
+        symptom="Data backup failure",
+        error_pattern="DE",
+        root_cause="AV",
+    )
+    default_seed = 0
+    max_steps = 30_000
+    churn_profile = (("ca1", 40, 40), ("ca2", 40, 40))
+
+    def build(self, cluster: Cluster) -> None:
+        seed = SeedNode(cluster, "ca1", replication=2)
+        BootstrapNode(cluster, "ca2", seed="ca1", token=42)
+        # In correct runs the bootstrap gossip is applied long before the
+        # first client write arrives.
+        seed.start_writer("k1", "v1", delay=80)

@@ -1,0 +1,61 @@
+"""The region balancer: keep region counts even across servers.
+
+The master periodically polls each region server's load over RPC and
+moves one region per round from the most- to the least-loaded server
+(close on the source, open on the target — through the same open-region
+queue as the Figure 3 path).  No seeded bug: balancing is a healthy
+control loop used by scale tests and the multi-region workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.runtime import sleep
+from repro.runtime.cluster import Cluster
+
+
+class Balancer:
+    """A load balancer thread on the HMaster."""
+
+    def __init__(
+        self,
+        master: "object",
+        servers: List[str],
+        interval: int = 10,
+        max_rounds: int = 12,
+    ) -> None:
+        self.master = master
+        self.node = master.node
+        self.log = self.node.log
+        self.servers = list(servers)
+        self.interval = interval
+        self.max_rounds = max_rounds
+        self.moves = self.node.shared_list("balancer_moves")
+
+    def start(self) -> None:
+        self.node.spawn(self._balance_loop, name="balancer")
+
+    def _balance_loop(self) -> None:
+        for _round in range(self.max_rounds):
+            loads = {
+                server: self.node.rpc(server).region_count()
+                for server in self.servers
+            }
+            source = max(self.servers, key=lambda s: loads[s])
+            target = min(self.servers, key=lambda s: loads[s])
+            if loads[source] - loads[target] <= 1:
+                self.log.info(f"balanced: {loads}")
+                return
+            region = self.node.rpc(source).pick_region()
+            if region is None:
+                return
+            self.node.rpc(source).close_region(region)
+            # Register the transition before reopening, like the split
+            # path: the region-state watcher treats an OPENED report
+            # without a pending transition as an inconsistency.
+            self.master.regions_in_transition.put(region, "PENDING_OPEN")
+            self.node.rpc(target).open_region(region)
+            self.moves.append((region, source, target))
+            self.log.info(f"moved {region}: {source} -> {target}")
+            sleep(self.interval)

@@ -1,0 +1,135 @@
+"""The HMaster: region assignment bookkeeping coordinated through ZooKeeper.
+
+The master keeps two pieces of shared state that the seeded bugs race on:
+
+* ``regions_in_transition`` — the Figure 3 list: written by the split
+  path, read/cleared by the ZooKeeper watcher handler and by the alter
+  path (HB-4539);
+* ``unassigned_cache`` — the in-memory mirror of ``/unassigned/...``
+  znodes: checked-then-acted-on by the enable path, force-cleaned by the
+  server-expiry handler (HB-4729).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NoNodeError
+from repro.runtime import sleep
+from repro.runtime.cluster import Cluster
+from repro.runtime.zookeeper import NODE_DELETED
+
+from repro.systems.minihb.regionserver import REGION_OPENED
+
+
+class HMaster:
+    """The cluster master."""
+
+    def __init__(self, cluster: Cluster, name: str = "master") -> None:
+        self.cluster = cluster
+        self.node = cluster.add_node(name)
+        self.log = self.node.log
+        self.zk = self.node.zk()
+        self.regions_in_transition = self.node.shared_dict("regions_in_transition")
+        self.online_regions = self.node.shared_set("online_regions")
+        self.unassigned_cache = self.node.shared_dict("unassigned_cache")
+        self.regions_by_server = {}  # static topology, not racy state
+        self.node.rpc_server.register("split_table", self.split_table)
+        self.node.rpc_server.register("alter_table", self.alter_table)
+        self.node.rpc_server.register("enable_table", self.enable_table)
+
+    # -- region opening: the Figure 3 chain (split path) ----------------------
+
+    def split_table(self, region: str, server: str) -> bool:
+        """RPC from the client: open ``region`` on ``server``.
+
+        Step 1 of Figure 3: record the region in transition (the W),
+        then fork the open thread (step 2).
+        """
+        self.regions_in_transition.put(region, "PENDING_OPEN")
+        self.zk.create(f"/region/{region}", data="PENDING")
+        self.zk.watch(f"/region/{region}", self.on_region_state_change)
+
+        def open_thread() -> None:
+            self.node.rpc(server).open_region(region)  # step 3
+
+        self.node.spawn(open_thread, name=f"open-{region}")
+        return True
+
+    def on_region_state_change(self, event) -> None:
+        """Figure 3 step 8: the watcher handler reads the transition state.
+
+        HB-4539: if the alter path force-removed the record first, the
+        master sees an impossible state transition and aborts.
+        """
+        if event.data != REGION_OPENED:
+            return
+        region = event.path.rsplit("/", 1)[1]
+        state = self.regions_in_transition.get(region)
+        if state is None:
+            self.node.abort(
+                f"region {region} reported {event.data} but is not in transition"
+            )
+        self.regions_in_transition.remove(region)
+        self.online_regions.add(region)
+        self.log.info(f"region {region} online")
+
+    # -- alter table (HB-4539's second half) -----------------------------------
+
+    def alter_table(self, region: str, delay: int = 4) -> bool:
+        """RPC from the client: schema change forces a region reassign.
+
+        Runs on the master's RPC handler thread (like real HBase's
+        handler pool); the force-removal below races with the watcher
+        handler's read on the zkwatch thread (HB-4539).
+        """
+        sleep(delay)  # metadata work before touching assignment
+        # Force any pending transition aside so the region can be
+        # reopened with the new schema (blind cleanup, like the real
+        # alter path's bulk reassign).
+        self.regions_in_transition.remove(region)
+        self.log.info(f"alter: cleared pending transition of {region}")
+        return True
+
+    # -- enable table / server expiry (HB-4729) ----------------------------------
+
+    def setup_unassigned(self, regions, server: str) -> None:
+        """Wire the disabled table's regions: znodes + in-memory mirror."""
+        self.regions_by_server[server] = list(regions)
+
+        def setup() -> None:
+            for region in regions:
+                self.zk.create(f"/unassigned/{region}", data="OFFLINE")
+                self.unassigned_cache.put(region, server)
+            self.zk.watch(f"/rs/{server}", self.on_server_znode_change)
+            self.zk.create("/setup-done")
+
+        self.node.spawn(setup, name="setup-unassigned")
+
+    def enable_table(self, region: str, server: str, scan_ticks: int = 6) -> bool:
+        """RPC from the client: bring a disabled region online."""
+
+        def enable_thread() -> None:
+            if self.unassigned_cache.contains(region):
+                sleep(scan_ticks)  # read .META., plan the assignment
+                # HB-4729: the expiry handler may have deleted the znode
+                # inside our check-then-act window; this delete then
+                # throws and kills the master.
+                self.zk.delete(f"/unassigned/{region}")
+                self.unassigned_cache.remove(region)
+                self.node.rpc(server).open_region(region)
+                self.log.info(f"enable: assigned {region} to {server}")
+
+        self.node.spawn(enable_thread, name=f"enable-{region}")
+        return True
+
+    def on_server_znode_change(self, event) -> None:
+        """Watcher handler: a region server's ephemeral znode changed."""
+        if event.etype != NODE_DELETED:
+            return
+        server = event.path.rsplit("/", 1)[1]
+        self.log.warn(f"server {server} expired; cleaning its regions")
+        for region in self.regions_by_server.get(server, []):
+            try:
+                self.zk.delete(f"/unassigned/{region}")
+            except NoNodeError:
+                pass  # already claimed by an assignment in flight
+            self.unassigned_cache.remove(region)

@@ -1,0 +1,83 @@
+"""mini-HBase benchmark workloads (Table 3: HB-4539, HB-4729)."""
+
+from __future__ import annotations
+
+from repro.runtime import sleep
+from repro.runtime.cluster import Cluster
+from repro.systems.base import BenchmarkInfo, Workload
+from repro.systems.minihb.master import HMaster
+from repro.systems.minihb.regionserver import HRegionServer
+
+
+class HB4539Workload(Workload):
+    """split table & alter table (DE / OV, system master crash).
+
+    The client splits a table (opening a region through the full
+    Figure 3 chain) and then alters it; the alter path's force-removal of
+    the in-transition record races with the ZooKeeper watcher handler's
+    read.  If the removal wins, the master aborts.
+    """
+
+    info = BenchmarkInfo(
+        bug_id="HB-4539",
+        system="HBase",
+        workload="split table & alter table",
+        symptom="System Master Crash",
+        error_pattern="DE",
+        root_cause="OV",
+    )
+    default_seed = 0
+    max_steps = 40_000
+    churn_profile = (("master", 20, 10),)
+
+    def build(self, cluster: Cluster) -> None:
+        cluster.zookeeper()
+        master = HMaster(cluster)
+        HRegionServer(cluster, "hrs1", open_ticks=4)
+        client = cluster.add_node("client")
+
+        def client_main() -> None:
+            client.rpc("master").split_table("region-1", "hrs1")
+            sleep(120)  # in correct runs the open completes well before
+            client.rpc("master").alter_table("region-1")
+
+        client.spawn(client_main, name="client-main")
+
+
+class HB4729Workload(Workload):
+    """enable table & expire server (DE / AV, system master crash).
+
+    The enable path checks the unassigned mirror, then deletes the
+    region's znode; the server-expiry handler deletes the same znode
+    concurrently.  Losing the check-then-act race makes the enable
+    thread's delete throw, killing the master.
+    """
+
+    info = BenchmarkInfo(
+        bug_id="HB-4729",
+        system="HBase",
+        workload="enable table & expire server",
+        symptom="System Master Crash",
+        error_pattern="DE",
+        root_cause="AV",
+    )
+    default_seed = 0
+    max_steps = 40_000
+    churn_profile = (("master", 40, 40), ("hrs1", 40, 40))
+
+    def build(self, cluster: Cluster) -> None:
+        cluster.zookeeper()
+        master = HMaster(cluster)
+        HRegionServer(cluster, "hrs1", register_ephemeral=True)
+        master.setup_unassigned(["region-7"], "hrs1")
+        client = cluster.add_node("client")
+
+        def client_main() -> None:
+            zk = client.zk()
+            while not zk.exists("/setup-done"):
+                sleep(3)
+            client.rpc("master").enable_table("region-7", "hrs1")
+            sleep(150)  # in correct runs the enable finishes first
+            zk.expire_session("hrs1")
+
+        client.spawn(client_main, name="client-main")

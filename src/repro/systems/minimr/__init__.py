@@ -1,0 +1,32 @@
+"""mini-MapReduce: a YARN-style computing framework.
+
+Structure mirrors Figure 4 of the paper: a ResourceManager (RM), an
+ApplicationMaster (AM) with a single-consumer event dispatcher whose
+handlers register/unregister tasks, NodeManagers (NM) whose containers
+poll the AM for task payloads over RPC, and a job client.
+
+Seeded bugs (Table 3):
+
+* **MR-3274** — the paper's Figure 1/2 bug: a client-initiated kill can
+  unregister a task concurrently with an NM container's ``get_task`` RPC
+  polling loop; if the unregister wins, the container hangs forever
+  (distributed hang, order violation).
+* **MR-4637** — a late task heartbeat can reach the AM after job
+  completion removed the job record; the status-update handler throws and
+  crashes the job master (local explicit error, order violation).
+"""
+
+from repro.systems.minimr.app_master import AppMaster
+from repro.systems.minimr.job_client import JobClient
+from repro.systems.minimr.node_manager import NodeManager
+from repro.systems.minimr.resource_manager import ResourceManager
+from repro.systems.minimr.workloads import MR3274Workload, MR4637Workload
+
+__all__ = [
+    "AppMaster",
+    "NodeManager",
+    "ResourceManager",
+    "JobClient",
+    "MR3274Workload",
+    "MR4637Workload",
+]

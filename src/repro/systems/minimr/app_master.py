@@ -1,0 +1,121 @@
+"""The ApplicationMaster (AM).
+
+Holds the job and task registries.  Task registration and job-kill
+processing go through a single-consumer event dispatcher (the
+``AsyncDispatcher`` of real MapReduce); task retrieval and status updates
+are RPC functions called by NodeManager containers.
+
+The ``tasks`` map is the ``jMap`` of the paper's Figure 2: ``put`` happens
+in the Register handler, ``remove`` in the Unregister (kill) handler, and
+``get`` inside the ``get_task`` RPC — the MR-3274 race.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.runtime import sleep
+from repro.runtime.cluster import Cluster
+
+
+class AppMaster:
+    """The job master node."""
+
+    def __init__(
+        self, cluster: Cluster, name: str = "am", rpc_threads: int = 1
+    ) -> None:
+        self.cluster = cluster
+        self.node = cluster.add_node(name, rpc_threads=rpc_threads)
+        self.log = self.node.log
+        self.tasks = self.node.shared_dict("tasks")  # the jMap of Figure 2
+        self.jobs = self.node.shared_dict("jobs")
+        self.done_count = self.node.shared_counter("done_count")
+        self.registered_count = self.node.shared_counter("registered_count")
+        self.dispatcher = self.node.event_queue("dispatcher", consumers=1)
+        self.dispatcher.register("register_task", self.on_register_task)
+        self.dispatcher.register("kill_job", self.on_kill_job)
+        self.node.rpc_server.register("launch_job", self.launch_job)
+        self.node.rpc_server.register("get_task", self.get_task)
+        self.node.rpc_server.register("report_done", self.report_done)
+        self.node.rpc_server.register("heartbeat", self.heartbeat)
+        self.node.rpc_server.register("kill_job", self.kill_job)
+        self.node.rpc_server.register("publish_result", self.publish_result)
+        self.results = self.node.shared_dict("job_results")
+
+    # -- RPC functions ------------------------------------------------------
+
+    def launch_job(self, job_id: str, task_ids: List[str], nm_names: List[str]):
+        """RPC from the RM: register the job, dispatch its tasks."""
+        self.jobs.put(job_id, {"tasks": list(task_ids)})
+        for task_id, nm_name in zip(task_ids, nm_names):
+            self.dispatcher.post(
+                "register_task",
+                {"job_id": job_id, "task_id": task_id, "payload": f"split:{task_id}"},
+            )
+            self.node.rpc(nm_name).assign_task(job_id, task_id)
+        self.log.info(f"job {job_id} launched with {len(task_ids)} tasks")
+        return True
+
+    def get_task(self, job_id: str, task_id: str):
+        """RPC from an NM container; None if not (or no longer) registered."""
+        return self.tasks.get(task_id)
+
+    def report_done(self, job_id: str, task_id: str) -> int:
+        return self.done_count.increment()
+
+    def heartbeat(self, job_id: str, task_id: str) -> bool:
+        """Task progress update.  MR-4637: the job may already be gone."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise RuntimeError(
+                f"status update for unregistered job {job_id} (task {task_id})"
+            )
+        return True
+
+    def kill_job(self, job_id: str) -> bool:
+        """RPC from the RM on the client's behalf."""
+        self.dispatcher.post("kill_job", {"job_id": job_id})
+        return True
+
+    def publish_result(self, job_id: str, result) -> bool:
+        """RPC from a reducer: the job's final output."""
+        self.results.put(job_id, result)
+        self.log.info(f"job {job_id} result published ({len(result)} keys)")
+        return True
+
+    # -- event handlers (single-consumer dispatcher) ---------------------------
+
+    def on_register_task(self, event) -> None:
+        data = event.payload
+        self.tasks.put(data["task_id"], data["payload"])
+        # Job-level bookkeeping under the job lock (register events are
+        # serialized by the single-consumer dispatcher anyway; the lock
+        # guards against future multi-queue configurations).
+        with self.node.lock("job-lock"):
+            self.registered_count.increment()
+
+    def on_kill_job(self, event) -> None:
+        """The Unregister handler of Figure 2: drop the job's tasks."""
+        job_id = event.payload["job_id"]
+        job = self.jobs.get(job_id)
+        if job is None:
+            self.log.warn(f"kill for unknown job {job_id}")
+            return
+        for task_id in job["tasks"]:
+            self.tasks.remove(task_id)
+        self.log.info(f"job {job_id} killed")
+
+    # -- job lifecycle -------------------------------------------------------------
+
+    def start_completion_monitor(self, job_id: str, expected: int) -> None:
+        """Remove the job record once all tasks have reported (MR-4637)."""
+
+        def monitor() -> None:
+            while self.done_count.get() < expected:
+                sleep(4)
+            sleep(40)  # commit/cleanup window before unregistering
+            self.jobs.remove(job_id)
+            self.node.rpc("rm").job_finished(job_id)
+            self.log.info(f"job {job_id} complete, unregistered")
+
+        self.node.spawn(monitor, name="completion-monitor")

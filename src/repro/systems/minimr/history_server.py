@@ -1,0 +1,60 @@
+"""The JobHistory server: a timeline of job lifecycle events.
+
+Real MapReduce posts job/task lifecycle events to a history server that
+serves them back to UIs and debuggers.  The AM reports milestones over
+RPC; the history server keeps an append-only timeline per job and
+answers queries.  Healthy subsystem — used by integration tests and
+available to workloads that want an audit trail.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.runtime.cluster import Cluster
+
+
+class HistoryServer:
+    """Stores per-job event timelines."""
+
+    def __init__(self, cluster: Cluster, name: str = "jhs") -> None:
+        self.cluster = cluster
+        self.node = cluster.add_node(name)
+        self.timelines = self.node.shared_dict("timelines")
+        self.node.rpc_server.register("record_event", self.record_event)
+        self.node.rpc_server.register("job_timeline", self.job_timeline)
+        self.node.rpc_server.register("job_summary", self.job_summary)
+
+    def record_event(self, job_id: str, kind: str, detail: str = "") -> int:
+        """RPC from the AM: append one lifecycle event."""
+        timeline = self.timelines.get(job_id) or []
+        timeline = list(timeline)
+        timeline.append({"kind": kind, "detail": detail, "n": len(timeline)})
+        self.timelines.put(job_id, timeline)
+        return len(timeline)
+
+    def job_timeline(self, job_id: str) -> List[Dict[str, Any]]:
+        return list(self.timelines.get(job_id) or [])
+
+    def job_summary(self, job_id: str) -> Optional[Dict[str, Any]]:
+        timeline = self.timelines.get(job_id)
+        if not timeline:
+            return None
+        kinds = [event["kind"] for event in timeline]
+        return {
+            "events": len(timeline),
+            "launched": "LAUNCHED" in kinds,
+            "finished": "FINISHED" in kinds or "KILLED" in kinds,
+            "outcome": kinds[-1],
+        }
+
+
+class HistoryReporter:
+    """AM-side helper: report milestones if a history server exists."""
+
+    def __init__(self, am_node: "object", server_name: str = "jhs") -> None:
+        self.node = am_node
+        self.server_name = server_name
+
+    def report(self, job_id: str, kind: str, detail: str = "") -> None:
+        self.node.rpc(self.server_name).record_event(job_id, kind, detail)

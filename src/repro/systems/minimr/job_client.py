@@ -1,0 +1,34 @@
+"""The job client: submits a wordcount-style job, optionally kills it."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.runtime import sleep
+from repro.runtime.cluster import Cluster
+
+
+class JobClient:
+    """Drives one job from a client node."""
+
+    def __init__(self, cluster: Cluster, name: str = "client", rm_name: str = "rm"):
+        self.cluster = cluster
+        self.node = cluster.add_node(name)
+        self.rm_name = rm_name
+
+    def run_job(
+        self,
+        job_id: str,
+        task_ids: List[str],
+        nm_names: List[str],
+        kill_after: Optional[int] = None,
+    ) -> None:
+        """Spawn the client thread: submit, then optionally kill later."""
+
+        def client_main() -> None:
+            self.node.rpc(self.rm_name).submit_job(job_id, task_ids, nm_names)
+            if kill_after is not None:
+                sleep(kill_after)
+                self.node.rpc(self.rm_name).kill_job(job_id)
+
+        self.node.spawn(client_main, name="client-main")

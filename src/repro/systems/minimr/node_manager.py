@@ -1,0 +1,68 @@
+"""The NodeManager (NM) and its task containers.
+
+``assign_task`` is an RPC from the AM; it forks a container thread.  The
+container retrieves the task payload with the ``while (!getTask(jID))``
+RPC polling loop of the paper's Figure 2, executes, optionally sends
+progress heartbeats, and reports completion.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import sleep
+from repro.runtime.cluster import Cluster
+
+
+class NodeManager:
+    """One worker node hosting task containers."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        name: str,
+        am_name: str = "am",
+        heartbeats: int = 0,
+        final_heartbeat: bool = False,
+        poll_interval: int = 3,
+        work_ticks: int = 6,
+        notify_speculator: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.node = cluster.add_node(name)
+        self.am_name = am_name
+        self.heartbeats = heartbeats
+        self.final_heartbeat = final_heartbeat
+        self.poll_interval = poll_interval
+        self.work_ticks = work_ticks
+        self.notify_speculator = notify_speculator
+        self.node.rpc_server.register("assign_task", self.assign_task)
+
+    # -- RPC functions -------------------------------------------------------
+
+    def assign_task(self, job_id: str, task_id: str) -> bool:
+        """RPC from the AM: start a container for the task."""
+
+        def container() -> None:
+            self._run_container(job_id, task_id)
+
+        self.node.spawn(container, name=f"container-{task_id}")
+        return True
+
+    # -- container logic --------------------------------------------------------
+
+    def _run_container(self, job_id: str, task_id: str) -> None:
+        # The Figure 2 polling loop: wait until the AM can hand us the
+        # task payload.  If the task is unregistered first (MR-3274),
+        # this loop never exits — the distributed hang.
+        while self.node.rpc(self.am_name).get_task(job_id, task_id) is None:
+            sleep(self.poll_interval)
+        sleep(self.work_ticks)  # execute the task
+        for _ in range(self.heartbeats):
+            self.node.rpc(self.am_name).heartbeat(job_id, task_id)
+            sleep(2)
+        self.node.rpc(self.am_name).report_done(job_id, task_id)
+        if self.notify_speculator:
+            self.node.rpc(self.am_name).attempt_done(task_id)
+        if self.final_heartbeat:
+            # A trailing progress update after completion: races with the
+            # AM's job unregistration (MR-4637).
+            self.node.rpc(self.am_name).heartbeat(job_id, task_id)

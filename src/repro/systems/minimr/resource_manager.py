@@ -1,0 +1,35 @@
+"""The ResourceManager (RM): client entry point, launches jobs on AMs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.cluster import Cluster
+
+
+class ResourceManager:
+    """Accepts job submissions and routes them to the application master."""
+
+    def __init__(self, cluster: Cluster, name: str = "rm", am_name: str = "am"):
+        self.cluster = cluster
+        self.node = cluster.add_node(name)
+        self.am_name = am_name
+        self.node.rpc_server.register("submit_job", self.submit_job)
+        self.node.rpc_server.register("kill_job", self.kill_job)
+        self.node.rpc_server.register("job_finished", self.job_finished)
+
+    def submit_job(
+        self, job_id: str, task_ids: List[str], nm_names: List[str]
+    ) -> bool:
+        """RPC from the client: hand the job to the AM."""
+        self.node.log.info(f"submitting {job_id} to {self.am_name}")
+        return self.node.rpc(self.am_name).launch_job(job_id, task_ids, nm_names)
+
+    def kill_job(self, job_id: str) -> bool:
+        """RPC from the client: forward the kill to the AM."""
+        return self.node.rpc(self.am_name).kill_job(job_id)
+
+    def job_finished(self, job_id: str) -> bool:
+        """RPC from the AM's completion monitor."""
+        self.node.log.info(f"job {job_id} finished")
+        return True

@@ -1,0 +1,80 @@
+"""The shuffle phase: map-output storage and reduce-side fetching.
+
+Completes the MapReduce data path: map containers produce partial word
+counts into their NodeManager's map-output store; a reduce container
+fetches every map's output over RPC (the shuffle), merges, and publishes
+the final result to the AM.  No seeded bug — this is the part of the
+system that is *supposed* to work, used by the full-pipeline example and
+by tests that check DCatch stays quiet on healthy code paths.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.runtime import sleep
+from repro.runtime.cluster import Cluster
+
+
+class MapOutputStore:
+    """Per-NodeManager storage of completed map outputs."""
+
+    def __init__(self, nm: "object") -> None:
+        self.node = nm.node
+        self.outputs = self.node.shared_dict("map_outputs")
+        self.node.rpc_server.register("put_output", self.put_output)
+        self.node.rpc_server.register("fetch_output", self.fetch_output)
+
+    def put_output(self, map_task: str, counts: Dict[str, int]) -> bool:
+        """Called by the map container when its partition is complete."""
+        self.outputs.put(map_task, dict(counts))
+        return True
+
+    def fetch_output(self, map_task: str) -> Optional[Dict[str, int]]:
+        """The shuffle fetch: None while the map is still running."""
+        return self.outputs.get(map_task)
+
+
+def run_map_task(store: MapOutputStore, map_task: str, text: str) -> None:
+    """Word-count one input split and store the partial result."""
+    counts = Counter(text.split())
+    sleep(2)  # the map computation
+    store.put_output(map_task, dict(counts))
+
+
+class Reducer:
+    """The reduce container: shuffle + merge + publish."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        name: str,
+        map_locations: Dict[str, str],  # map task -> NM node name
+        am_name: str = "am",
+        poll_interval: int = 4,
+    ) -> None:
+        self.cluster = cluster
+        self.node = cluster.add_node(name)
+        self.map_locations = dict(map_locations)
+        self.am_name = am_name
+        self.poll_interval = poll_interval
+        self.result = self.node.shared_dict("reduce_result")
+
+    def start(self, job_id: str) -> None:
+        def reduce_main() -> None:
+            merged: Counter = Counter()
+            for map_task, nm_name in sorted(self.map_locations.items()):
+                # Shuffle fetch: poll until the map output exists
+                # (pull-based synchronization, visible to Rule-Mpull).
+                while True:
+                    output = self.node.rpc(nm_name).fetch_output(map_task)
+                    if output is not None:
+                        break
+                    sleep(self.poll_interval)
+                merged.update(output)
+            for word, count in sorted(merged.items()):
+                self.result.put(word, count)
+            self.node.rpc(self.am_name).publish_result(job_id, dict(merged))
+
+        self.node.spawn(reduce_main, name="reduce-main")

@@ -1,0 +1,69 @@
+"""Speculative execution (the DefaultSpeculator of real MapReduce).
+
+The speculator watches task progress and launches a *backup attempt* for
+a straggler; whichever attempt reports first wins and the other is
+discarded.  Attempt bookkeeping lives in a shared map touched by three
+parties — the speculator thread, the attempt-completion RPC handler, and
+the kill path — which is exactly the kind of state real MapReduce
+releases have raced on repeatedly.
+
+The seeded bug (used by the MR-SPEC beyond-benchmark workload): when the
+primary attempt completes, the completion handler discards the backup's
+bookkeeping; the speculator's progress scan concurrently reads it.  If
+the discard wins, the scan sees a vanished attempt and throws, crashing
+the job master.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.runtime import sleep
+from repro.runtime.cluster import Cluster
+
+
+class Speculator:
+    """Straggler detection + backup-attempt bookkeeping on the AM."""
+
+    def __init__(
+        self,
+        app_master: "object",
+        scan_interval: int = 8,
+        straggler_after: int = 2,
+    ) -> None:
+        self.am = app_master
+        self.node = app_master.node
+        self.log = self.node.log
+        self.scan_interval = scan_interval
+        self.straggler_after = straggler_after
+        #: task id -> {"attempts": n, "progress": ticks-without-report}
+        self.attempts = self.node.shared_dict("speculation_attempts")
+        self.node.rpc_server.register("attempt_done", self.attempt_done)
+
+    def watch(self, task_id: str, backup_nm: str) -> None:
+        """Track a task; spawn the scanner that may launch a backup."""
+        self.attempts.put(task_id, 1)
+
+        def scanner() -> None:
+            scans = 0
+            while self.attempts.contains(task_id):
+                scans += 1
+                if scans == self.straggler_after:
+                    # Straggler: launch the backup attempt.
+                    sleep(2)  # fetch attempt statistics before deciding
+                    count = self.attempts.get(task_id)
+                    if count is None:
+                        raise RuntimeError(
+                            f"speculation bookkeeping for {task_id} vanished"
+                        )
+                    self.attempts.put(task_id, count + 1)
+                    self.node.rpc(backup_nm).assign_task("spec", task_id)
+                    self.log.info(f"speculative attempt for {task_id}")
+                sleep(self.scan_interval)
+
+        self.node.spawn(scanner, name=f"speculator-{task_id}")
+
+    def attempt_done(self, task_id: str) -> bool:
+        """RPC from an NM: one attempt finished; discard bookkeeping."""
+        self.attempts.remove(task_id)
+        return True

@@ -1,0 +1,74 @@
+"""mini-MapReduce benchmark workloads (Table 3: MR-3274, MR-4637)."""
+
+from __future__ import annotations
+
+from repro.runtime.cluster import Cluster
+from repro.systems.base import BenchmarkInfo, Workload
+from repro.systems.minimr.app_master import AppMaster
+from repro.systems.minimr.job_client import JobClient
+from repro.systems.minimr.node_manager import NodeManager
+from repro.systems.minimr.resource_manager import ResourceManager
+
+
+class MR3274Workload(Workload):
+    """startup + wordcount, client kills the job mid-flight.
+
+    The paper's Figure 1/2 bug: the kill's Unregister handler removes the
+    task entry concurrently with NM containers' ``get_task`` polling
+    loops.  If the remove wins, a container hangs forever (DH / OV).
+    """
+
+    info = BenchmarkInfo(
+        bug_id="MR-3274",
+        system="Hadoop MapReduce",
+        workload="startup + wordcount",
+        symptom="Hang",
+        error_pattern="DH",
+        root_cause="OV",
+    )
+    default_seed = 0
+    max_steps = 40_000
+    churn_profile = (("nm1", 40, 40), ("nm2", 40, 40))
+
+    def build(self, cluster: Cluster) -> None:
+        am = AppMaster(cluster)
+        ResourceManager(cluster)
+        NodeManager(cluster, "nm1", poll_interval=3, work_ticks=6)
+        NodeManager(cluster, "nm2", poll_interval=3, work_ticks=6)
+        client = JobClient(cluster)
+        client.run_job(
+            "job-1",
+            task_ids=["t1", "t2"],
+            nm_names=["nm1", "nm2"],
+            kill_after=600,
+        )
+
+
+class MR4637Workload(Workload):
+    """startup + wordcount with trailing heartbeats.
+
+    A container's post-completion progress update reaches the AM after
+    the completion monitor unregistered the job; the status-update RPC
+    handler throws and crashes the job master (LE / OV).
+    """
+
+    info = BenchmarkInfo(
+        bug_id="MR-4637",
+        system="Hadoop MapReduce",
+        workload="startup + wordcount",
+        symptom="Job Master Crash",
+        error_pattern="LE",
+        root_cause="OV",
+    )
+    default_seed = 0
+    max_steps = 40_000
+    churn_profile = (("nm1", 40, 40), ("nm2", 40, 40))
+
+    def build(self, cluster: Cluster) -> None:
+        am = AppMaster(cluster)
+        ResourceManager(cluster)
+        NodeManager(cluster, "nm1", heartbeats=2, final_heartbeat=True)
+        NodeManager(cluster, "nm2", heartbeats=2, final_heartbeat=True)
+        client = JobClient(cluster)
+        client.run_job("job-2", task_ids=["t1", "t2"], nm_names=["nm1", "nm2"])
+        am.start_completion_monitor("job-2", expected=2)

@@ -1,0 +1,85 @@
+"""Fast-leader-election (ZK-1270).
+
+A stripped-down FastLeaderElection: the electing node votes for itself,
+asks its peer for a vote, and — after a round timeout — bumps its logical
+clock, *clearing the vote table*, before waiting for a quorum of votes.
+Peers answer a vote request once (they re-notify only on state change,
+like real ZooKeeper).
+
+The seeded ZK-1270 race: the peer's vote notification can arrive before
+the round bump; the clear then erases it, the peer never re-sends, and
+the election never reaches quorum — the service stays unavailable.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import sleep
+from repro.runtime.cluster import Cluster
+
+
+class ElectionNode:
+    """The node running the election logic."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        name: str = "zk1",
+        peers=("zk2",),
+        quorum: int = 2,
+        round_timeout: int = 3,
+    ) -> None:
+        self.cluster = cluster
+        self.node = cluster.add_node(name)
+        self.log = self.node.log
+        self.peers = list(peers)
+        self.quorum = quorum
+        self.round_timeout = round_timeout
+        self.votes = self.node.shared_dict("votes")
+        self.logical_clock = self.node.shared_counter("logical_clock")
+        self.leader = self.node.shared_var("leader", None)
+        self.node.on_message("vote", self.on_vote)
+        self.node.spawn(self.run_election, name="election-main")
+
+    def on_vote(self, payload, src: str) -> None:
+        """Vote notification handler (the WorkerReceiver of real ZK)."""
+        self.votes.put(src, payload["vote"])
+
+    def run_election(self) -> None:
+        self.votes.put(self.node.name, self.node.name)
+        for peer in self.peers:
+            self.node.send(peer, "ask_vote", {"round": 1})
+        sleep(self.round_timeout)
+        # Round timeout: bump the logical clock and restart the round.
+        # ZK-1270: clearing the table races with incoming notifications;
+        # a vote that arrived early is erased and never re-sent.
+        self.logical_clock.increment()
+        self.votes.clear()
+        self.votes.put(self.node.name, self.node.name)
+        while self.votes.size() < self.quorum:
+            sleep(3)
+        self.leader.set(self.node.name)
+        self.log.info(f"leader elected: {self.node.name}")
+
+
+class VoterNode:
+    """A peer that answers a vote request exactly once."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        name: str = "zk2",
+        think_ticks: int = 10,
+    ) -> None:
+        self.cluster = cluster
+        self.node = cluster.add_node(name)
+        self.think_ticks = think_ticks
+        self.answered = self.node.shared_var("answered", False)
+        self.node.on_message("ask_vote", self.on_ask_vote)
+
+    def on_ask_vote(self, payload, src: str) -> None:
+        with self.node.lock("vote-state"):
+            if self.answered.get():
+                return  # peers only notify on state change
+            self.answered.set(True)
+        sleep(self.think_ticks)  # evaluate the proposal
+        self.node.send(src, "vote", {"vote": src})

@@ -1,0 +1,84 @@
+"""Leader/follower epoch handshake (ZK-1144).
+
+Startup: the follower registers with the leader over a socket; the
+leader replies with a NEWEPOCH proposal.  The follower processes the
+proposal on its sync event queue and acks; the leader completes startup
+once a quorum acked.
+
+The seeded ZK-1144 race: the follower's main thread restores
+``accepted_epoch`` from disk *after* registering.  If the NEWEPOCH
+handler's write lands first, the restore clobbers it, the follower's
+wait loop never sees the new epoch, and startup hangs.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import sleep
+from repro.runtime.cluster import Cluster
+
+NEW_EPOCH = 2
+DISK_EPOCH = 1
+
+
+class LeaderNode:
+    """The quorum leader."""
+
+    def __init__(self, cluster: Cluster, name: str = "zk1", quorum: int = 1):
+        self.cluster = cluster
+        self.node = cluster.add_node(name)
+        self.log = self.node.log
+        self.quorum = quorum
+        self.acks = self.node.shared_counter("epoch_acks")
+        self.node.on_message("register", self.on_register)
+        self.node.on_message("ack_epoch", self.on_ack_epoch)
+        self.node.spawn(self.run_startup, name="leader-main")
+
+    def on_register(self, payload, src: str) -> None:
+        """A follower joined: propose the new epoch."""
+        self.log.info(f"follower {src} registered; proposing epoch {NEW_EPOCH}")
+        self.node.send(src, "new_epoch", {"epoch": NEW_EPOCH})
+
+    def on_ack_epoch(self, payload, src: str) -> None:
+        self.acks.increment()
+
+    def run_startup(self) -> None:
+        while self.acks.get() < self.quorum:
+            sleep(4)
+        self.log.info("quorum acked the new epoch; leader active")
+
+
+class FollowerNode:
+    """A quorum follower."""
+
+    def __init__(self, cluster: Cluster, name: str = "zk2", leader: str = "zk1"):
+        self.cluster = cluster
+        self.node = cluster.add_node(name)
+        self.log = self.node.log
+        self.leader = leader
+        self.accepted_epoch = self.node.shared_var("accepted_epoch", 0)
+        self.current_epoch_file = self.node.shared_var("current_epoch_file", 0)
+        self.sync_queue = self.node.event_queue("sync", consumers=1)
+        self.sync_queue.register("new_epoch", self.on_new_epoch_event)
+        self.node.on_message("new_epoch", self.on_new_epoch_message)
+        self.node.spawn(self.run_startup, name="follower-main")
+
+    def on_new_epoch_message(self, payload, src: str) -> None:
+        """Socket handler: hand the proposal to the sync stage."""
+        self.sync_queue.post("new_epoch", payload)
+
+    def on_new_epoch_event(self, event) -> None:
+        """Sync-stage handler: adopt the leader's epoch and ack."""
+        self.accepted_epoch.set(event.payload["epoch"])
+        with self.node.lock("epoch-file"):
+            self.current_epoch_file.set(event.payload["epoch"])
+        self.node.send(self.leader, "ack_epoch", {"epoch": event.payload["epoch"]})
+
+    def run_startup(self) -> None:
+        self.node.send(self.leader, "register", {"me": self.node.name})
+        # ZK-1144: restoring the on-disk epoch *after* registering races
+        # with the NEWEPOCH handler's write.  If this lands second, the
+        # new epoch is clobbered and the wait below never finishes.
+        self.accepted_epoch.set(DISK_EPOCH)
+        while self.accepted_epoch.get() < NEW_EPOCH:
+            sleep(3)
+        self.log.info(f"follower synced at epoch {NEW_EPOCH}")

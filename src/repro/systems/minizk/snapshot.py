@@ -1,0 +1,77 @@
+"""Transaction log and snapshotting (ZooKeeper's persistence layer).
+
+Every applied transaction lands in the in-memory txn log; a snapshot
+thread periodically compacts the log into a snapshot under the
+snapshot lock.  ``recover`` rebuilds the state machine from snapshot +
+log suffix — the path a restarting follower takes before the epoch
+handshake.  No seeded bug: used by scale tests and the recovery test.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime import sleep
+from repro.runtime.cluster import Cluster
+
+
+class TxnStore:
+    """In-memory txn log + snapshot for one server."""
+
+    def __init__(self, node: "object", snapshot_every: int = 5) -> None:
+        self.node = node
+        self.snapshot_every = snapshot_every
+        self.txn_log = node.shared_list("txn_log")
+        self.snapshot = node.shared_var("snapshot", {})
+        self.snapshot_zxid = node.shared_var("snapshot_zxid", 0)
+        self.last_zxid = node.shared_counter("last_zxid", 0)
+        self._lock = node.lock("snapshot-lock")
+
+    # -- write path ---------------------------------------------------------
+
+    def apply(self, key: str, value: Any) -> int:
+        """Append one transaction; returns its zxid."""
+        zxid = self.last_zxid.increment()
+        self.txn_log.append((zxid, key, value))
+        return zxid
+
+    # -- snapshotting ---------------------------------------------------------
+
+    def take_snapshot(self) -> int:
+        """Compact the full log into the snapshot (under the lock)."""
+        with self._lock:
+            state = dict(self.snapshot.get())
+            zxid = self.snapshot_zxid.get()
+            for txn_zxid, key, value in self.txn_log.snapshot():
+                if txn_zxid > zxid:
+                    state[key] = value
+                    zxid = txn_zxid
+            self.snapshot.set(state)
+            self.snapshot_zxid.set(zxid)
+            # Truncate the compacted prefix.
+            while True:
+                head = self.txn_log.snapshot()
+                if not head or head[0][0] > zxid:
+                    break
+                self.txn_log.pop_first()
+        return zxid
+
+    def start_snapshot_thread(self, rounds: int = 6, interval: int = 8) -> None:
+        def snapshotter() -> None:
+            for _ in range(rounds):
+                sleep(interval)
+                self.take_snapshot()
+
+        self.node.spawn(snapshotter, name=f"{self.node.name}.snapshotter")
+
+    # -- recovery ----------------------------------------------------------------
+
+    def recover(self) -> Dict[str, Any]:
+        """Rebuild the state machine: snapshot + log suffix replay."""
+        with self._lock:
+            state = dict(self.snapshot.get())
+            zxid = self.snapshot_zxid.get()
+            for txn_zxid, key, value in self.txn_log.snapshot():
+                if txn_zxid > zxid:
+                    state[key] = value
+        return state

@@ -1,0 +1,48 @@
+"""mini-ZooKeeper benchmark workloads (Table 3: ZK-1144, ZK-1270)."""
+
+from __future__ import annotations
+
+from repro.runtime.cluster import Cluster
+from repro.systems.base import BenchmarkInfo, Workload
+from repro.systems.minizk.election import ElectionNode, VoterNode
+from repro.systems.minizk.quorum import FollowerNode, LeaderNode
+
+
+class ZK1144Workload(Workload):
+    """startup: leader/follower epoch handshake (LH / OV)."""
+
+    info = BenchmarkInfo(
+        bug_id="ZK-1144",
+        system="ZooKeeper",
+        workload="startup",
+        symptom="Service unavailable",
+        error_pattern="LH",
+        root_cause="OV",
+    )
+    default_seed = 0
+    max_steps = 30_000
+    churn_profile = (("zk2", 20, 10),)
+
+    def build(self, cluster: Cluster) -> None:
+        LeaderNode(cluster, "zk1", quorum=1)
+        FollowerNode(cluster, "zk2", leader="zk1")
+
+
+class ZK1270Workload(Workload):
+    """startup: leader election round-bump race (LH / OV)."""
+
+    info = BenchmarkInfo(
+        bug_id="ZK-1270",
+        system="ZooKeeper",
+        workload="startup",
+        symptom="Service unavailable",
+        error_pattern="LH",
+        root_cause="OV",
+    )
+    default_seed = 0
+    max_steps = 30_000
+    churn_profile = (("zk1", 30, 30),)
+
+    def build(self, cluster: Cluster) -> None:
+        ElectionNode(cluster, "zk1", peers=("zk2",), quorum=2, round_timeout=3)
+        VoterNode(cluster, "zk2", think_ticks=10)

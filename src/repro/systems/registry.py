@@ -1,0 +1,45 @@
+"""The benchmark registry: the paper's Table 3 as executable objects."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.systems.base import Workload
+from repro.systems.minica.workloads import CA1011Workload
+from repro.systems.minihb.workloads import HB4539Workload, HB4729Workload
+from repro.systems.minimr.workloads import MR3274Workload, MR4637Workload
+from repro.systems.minizk.workloads import ZK1144Workload, ZK1270Workload
+
+#: Table 3 order.
+WORKLOAD_CLASSES: List[Type[Workload]] = [
+    CA1011Workload,
+    HB4539Workload,
+    HB4729Workload,
+    MR3274Workload,
+    MR4637Workload,
+    ZK1144Workload,
+    ZK1270Workload,
+]
+
+
+def all_workloads() -> List[Workload]:
+    return [cls() for cls in WORKLOAD_CLASSES]
+
+
+def workload_by_id(bug_id: str) -> Workload:
+    from repro.systems.extra import EXTRA_WORKLOAD_CLASSES
+
+    for cls in WORKLOAD_CLASSES + EXTRA_WORKLOAD_CLASSES:
+        if cls.info.bug_id.lower() == bug_id.lower():
+            return cls()
+    known = ", ".join(
+        cls.info.bug_id for cls in WORKLOAD_CLASSES + EXTRA_WORKLOAD_CLASSES
+    )
+    raise KeyError(f"unknown benchmark {bug_id}; known: {known}")
+
+
+def systems() -> List[str]:
+    seen: Dict[str, None] = {}
+    for cls in WORKLOAD_CLASSES:
+        seen.setdefault(cls.info.system, None)
+    return list(seen)

@@ -1,0 +1,52 @@
+"""Run-time tracing (paper Section 3.1)."""
+
+from repro.trace.records import (
+    CATEGORY_EVENT,
+    CATEGORY_LOCK,
+    CATEGORY_MEM,
+    CATEGORY_PUSH,
+    CATEGORY_RPC,
+    CATEGORY_SOCKET,
+    CATEGORY_THREAD,
+    category_of,
+    dump_records,
+    load_records,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.trace.scope import (
+    FullScope,
+    SelectiveScope,
+    TracingScope,
+    find_comm_functions,
+    find_comm_functions_in_source,
+    selective_scope_for,
+)
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.store import Trace
+from repro.trace.tracer import Tracer
+
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "compute_stats",
+    "Tracer",
+    "TracingScope",
+    "FullScope",
+    "SelectiveScope",
+    "find_comm_functions",
+    "find_comm_functions_in_source",
+    "selective_scope_for",
+    "category_of",
+    "record_to_dict",
+    "record_from_dict",
+    "dump_records",
+    "load_records",
+    "CATEGORY_MEM",
+    "CATEGORY_RPC",
+    "CATEGORY_SOCKET",
+    "CATEGORY_EVENT",
+    "CATEGORY_THREAD",
+    "CATEGORY_LOCK",
+    "CATEGORY_PUSH",
+]

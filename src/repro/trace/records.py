@@ -1,0 +1,110 @@
+"""Trace record model and serialization.
+
+A trace record is an executed ``OpEvent`` plus nothing else — the paper's
+three pieces of information per record (operation type, call stack, ID —
+Section 3.1.2) are the event's ``kind``, ``callstack`` and ``obj_id``.
+This module adds:
+
+* category classification (Table 7's breakdown: Mem / RPC / Socket /
+  Event / Thread / Lock / Push);
+* JSON-lines serialization so traces behave like the paper's per-thread
+  trace *files* (and so Table 6 can report trace sizes in bytes).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.ids import CallStack, Frame
+from repro.runtime.ops import OpEvent, OpKind
+
+CATEGORY_MEM = "mem"
+CATEGORY_RPC = "rpc"
+CATEGORY_SOCKET = "socket"
+CATEGORY_EVENT = "event"
+CATEGORY_THREAD = "thread"
+CATEGORY_LOCK = "lock"
+CATEGORY_PUSH = "push"
+
+_KIND_CATEGORY = {
+    OpKind.MEM_READ: CATEGORY_MEM,
+    OpKind.MEM_WRITE: CATEGORY_MEM,
+    OpKind.RPC_CREATE: CATEGORY_RPC,
+    OpKind.RPC_BEGIN: CATEGORY_RPC,
+    OpKind.RPC_END: CATEGORY_RPC,
+    OpKind.RPC_JOIN: CATEGORY_RPC,
+    OpKind.SOCK_SEND: CATEGORY_SOCKET,
+    OpKind.SOCK_RECV: CATEGORY_SOCKET,
+    OpKind.EVENT_CREATE: CATEGORY_EVENT,
+    OpKind.EVENT_BEGIN: CATEGORY_EVENT,
+    OpKind.EVENT_END: CATEGORY_EVENT,
+    OpKind.THREAD_CREATE: CATEGORY_THREAD,
+    OpKind.THREAD_BEGIN: CATEGORY_THREAD,
+    OpKind.THREAD_END: CATEGORY_THREAD,
+    OpKind.THREAD_JOIN: CATEGORY_THREAD,
+    OpKind.LOCK_ACQUIRE: CATEGORY_LOCK,
+    OpKind.LOCK_RELEASE: CATEGORY_LOCK,
+    OpKind.ZK_UPDATE: CATEGORY_PUSH,
+    OpKind.ZK_PUSHED: CATEGORY_PUSH,
+}
+
+
+def category_of(kind: OpKind) -> str:
+    return _KIND_CATEGORY[kind]
+
+
+def record_to_dict(event: OpEvent) -> Dict[str, Any]:
+    """A JSON-serializable view of one record."""
+    return {
+        "seq": event.seq,
+        "kind": event.kind.value,
+        "obj_id": _jsonable(event.obj_id),
+        "node": event.node,
+        "tid": event.tid,
+        "thread": event.thread_name,
+        "segment": event.segment,
+        "stack": [[f.path, f.func, f.line] for f in event.callstack],
+        "location": list(event.location) if event.location else None,
+        "observed_write": event.observed_write,
+        "in_handler": event.in_handler,
+        "extra": {k: _jsonable(v) for k, v in event.extra.items()},
+    }
+
+
+def record_from_dict(data: Dict[str, Any]) -> OpEvent:
+    return OpEvent(
+        seq=data["seq"],
+        kind=OpKind(data["kind"]),
+        obj_id=_untuple(data["obj_id"]),
+        node=data["node"],
+        tid=data["tid"],
+        thread_name=data["thread"],
+        segment=data["segment"],
+        callstack=CallStack(Frame(p, f, l) for p, f, l in data["stack"]),
+        location=tuple(data["location"]) if data["location"] else None,
+        observed_write=data["observed_write"],
+        in_handler=data.get("in_handler", False),
+        extra=data.get("extra", {}),
+    )
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return {"__tuple__": [_jsonable(v) for v in value]}
+    return value
+
+
+def _untuple(value: Any) -> Any:
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_untuple(v) for v in value["__tuple__"])
+    return value
+
+
+def dump_records(records: Iterable[OpEvent]) -> str:
+    """Serialize records as JSON lines (one trace 'file')."""
+    return "\n".join(json.dumps(record_to_dict(r)) for r in records)
+
+
+def load_records(text: str) -> List[OpEvent]:
+    return [record_from_dict(json.loads(line)) for line in text.splitlines() if line]

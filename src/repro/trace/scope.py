@@ -1,0 +1,134 @@
+"""Tracing scope policies (paper Section 3.1.1, "Which operations to trace?").
+
+DCatch's key scalability decision is *selective* memory-access tracing:
+record accesses only inside (1) RPC functions, (2) functions that conduct
+socket/communication operations, and (3) event-handler functions — and
+their callees.  Everything else is skipped, which Table 8 shows is the
+difference between tractable and out-of-memory analysis.
+
+Our equivalents:
+
+* handler extents (RPC / event / message / watch callbacks) are known
+  dynamically — the runtime marks records with ``in_handler``;
+* "functions that conduct communication" are found by a static scan of the
+  system-under-test source (the WALA-analog pre-pass): any function whose
+  body syntactically performs a communication call.  An access qualifies
+  if any frame of its call stack is such a function (dynamic extent =
+  "and their callees").
+
+HB-related operations and lock operations are always traced, as in the
+paper.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from types import ModuleType
+from typing import Iterable, Set
+
+from repro.runtime.ops import OpEvent
+
+#: Method names whose invocation marks a function as "conducting
+#: communication".  Mirrors the paper's list: RPC invocation, socket send,
+#: and coordination-service updates.
+COMM_CALL_NAMES = frozenset(
+    {
+        "rpc",
+        "call_rpc",
+        "send",
+        "set_data",
+        "expire_session",
+    }
+)
+
+#: ``create``/``delete`` are only communication when called on a
+#: coordination-service client (too generic otherwise).
+ZK_ONLY_CALL_NAMES = frozenset({"create", "delete"})
+ZK_RECEIVER_HINTS = ("zk", "coord", "zoo")
+
+
+class TracingScope:
+    """Decides which memory accesses the tracer keeps."""
+
+    name = "abstract"
+
+    def should_trace_mem(self, event: OpEvent) -> bool:
+        raise NotImplementedError
+
+
+class FullScope(TracingScope):
+    """Unselective tracing — the Table 8 alternative design."""
+
+    name = "full"
+
+    def should_trace_mem(self, event: OpEvent) -> bool:
+        return True
+
+
+class SelectiveScope(TracingScope):
+    """The paper's policy: handlers + communication-conducting functions."""
+
+    name = "selective"
+
+    def __init__(self, comm_functions: Iterable[str] = ()) -> None:
+        self.comm_functions: Set[str] = set(comm_functions)
+
+    def should_trace_mem(self, event: OpEvent) -> bool:
+        if event.in_handler:
+            return True
+        return any(f.func in self.comm_functions for f in event.callstack)
+
+
+class _CommCallFinder(ast.NodeVisitor):
+    """Does this function body contain a communication call?"""
+
+    def __init__(self) -> None:
+        self.found = False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            if name in COMM_CALL_NAMES:
+                self.found = True
+            elif name in ZK_ONLY_CALL_NAMES and _receiver_is_zk(func.value):
+                self.found = True
+        elif isinstance(func, ast.Name) and func.id in COMM_CALL_NAMES:
+            self.found = True
+        self.generic_visit(node)
+
+
+def _receiver_is_zk(value: ast.expr) -> bool:
+    text = ast.dump(value).lower()
+    return any(hint in text for hint in ZK_RECEIVER_HINTS)
+
+
+def find_comm_functions_in_source(source: str) -> Set[str]:
+    """Names of functions in ``source`` that conduct communication."""
+    tree = ast.parse(source)
+    result: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            finder = _CommCallFinder()
+            for stmt in node.body:
+                finder.visit(stmt)
+            if finder.found:
+                result.add(node.name)
+    return result
+
+
+def find_comm_functions(modules: Iterable[ModuleType]) -> Set[str]:
+    """Static pre-pass over system-under-test modules (the WALA analog)."""
+    result: Set[str] = set()
+    for module in modules:
+        try:
+            source = inspect.getsource(module)
+        except (OSError, TypeError):
+            continue
+        result |= find_comm_functions_in_source(source)
+    return result
+
+
+def selective_scope_for(modules: Iterable[ModuleType]) -> SelectiveScope:
+    return SelectiveScope(find_comm_functions(modules))

@@ -1,0 +1,75 @@
+"""Trace statistics: what one monitored run looked like.
+
+Useful for the Table 6/7 benches, for sanity-checking workloads, and
+for eyeballing whether selective tracing is doing its job.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.runtime.ops import MEM_KINDS, OpKind
+from repro.trace.store import Trace
+
+
+@dataclass
+class TraceStats:
+    total: int
+    size_bytes: int
+    categories: Counter
+    per_node: Counter
+    per_thread: Counter
+    segments: int
+    handler_segments: int
+    mem_locations: int
+    reads: int
+    writes: int
+
+    def render(self) -> str:
+        lines = [
+            f"records: {self.total} ({self.size_bytes / 1024:.1f} KB)",
+            "by category: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.categories.items())),
+            "by node: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.per_node.items())),
+            f"segments: {self.segments} ({self.handler_segments} handler)",
+            f"memory: {self.reads} reads / {self.writes} writes over "
+            f"{self.mem_locations} locations",
+        ]
+        return "\n".join(lines)
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    per_node: Counter = Counter()
+    per_thread: Counter = Counter()
+    segments = set()
+    handler_segments = set()
+    locations = set()
+    reads = writes = 0
+    for record in trace.records:
+        per_node[record.node] += 1
+        per_thread[record.thread_name] += 1
+        segments.add(record.segment)
+        if record.in_handler:
+            handler_segments.add(record.segment)
+        if record.kind in MEM_KINDS:
+            if record.location is not None:
+                locations.add(record.location)
+            if record.kind is OpKind.MEM_READ:
+                reads += 1
+            else:
+                writes += 1
+    return TraceStats(
+        total=len(trace),
+        size_bytes=trace.size_bytes(),
+        categories=trace.category_counts(),
+        per_node=per_node,
+        per_thread=per_thread,
+        segments=len(segments),
+        handler_segments=len(handler_segments),
+        mem_locations=len(locations),
+        reads=reads,
+        writes=writes,
+    )

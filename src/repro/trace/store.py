@@ -1,0 +1,115 @@
+"""Trace container: per-thread record streams plus whole-run views.
+
+The paper writes one trace file per thread of every process of every node
+(Section 3.1); the analyzer then merges them.  ``Trace`` keeps both views:
+``per_thread`` preserves the file structure (and serializes to JSON lines
+per thread), while ``records`` is the merged, seq-ordered stream the HB
+analysis consumes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Optional
+
+from repro.runtime.ops import MEM_KINDS, OpEvent, OpKind
+from repro.trace.records import category_of, dump_records, load_records
+
+
+class Trace:
+    """All records of one run, ordered by global sequence number."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.records: List[OpEvent] = []
+        self._by_thread: Dict[int, List[OpEvent]] = defaultdict(list)
+
+    def append(self, event: OpEvent) -> None:
+        # Records are *emitted* slightly out of order (a thread records its
+        # operation after yielding to the scheduler), so keep the merged
+        # stream sorted by sequence number on insert.  Inserts are near the
+        # tail, so this stays cheap.
+        if self.records and self.records[-1].seq > event.seq:
+            bisect.insort(self.records, event, key=lambda r: r.seq)
+        else:
+            self.records.append(event)
+        self._by_thread[event.tid].append(event)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def per_thread(self) -> Dict[int, List[OpEvent]]:
+        return dict(self._by_thread)
+
+    def mem_accesses(self) -> List[OpEvent]:
+        return [r for r in self.records if r.kind in MEM_KINDS]
+
+    def of_kind(self, *kinds: OpKind) -> List[OpEvent]:
+        wanted = set(kinds)
+        return [r for r in self.records if r.kind in wanted]
+
+    def by_seq(self, seq: int) -> Optional[OpEvent]:
+        lo, hi = 0, len(self.records) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            value = self.records[mid].seq
+            if value == seq:
+                return self.records[mid]
+            if value < seq:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return None
+
+    # -- statistics (Tables 6 and 7) ------------------------------------------
+
+    def category_counts(self) -> Counter:
+        return Counter(category_of(r.kind) for r in self.records)
+
+    def size_bytes(self) -> int:
+        """Serialized size — the paper's 'trace size' metric."""
+        return sum(len(dump_records(recs)) + 1 for recs in self._by_thread.values())
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # -- serialization ---------------------------------------------------------
+
+    def dump_thread_files(self) -> Dict[int, str]:
+        """One JSON-lines blob per thread, like the paper's trace files."""
+        return {tid: dump_records(recs) for tid, recs in self._by_thread.items()}
+
+    @classmethod
+    def from_thread_files(cls, files: Dict[int, str], name: str = "trace") -> "Trace":
+        trace = cls(name)
+        merged: List[OpEvent] = []
+        for blob in files.values():
+            merged.extend(load_records(blob))
+        merged.sort(key=lambda r: r.seq)
+        for record in merged:
+            trace.append(record)
+        return trace
+
+    def save(self, directory: str) -> None:
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        for tid, blob in self.dump_thread_files().items():
+            with open(os.path.join(directory, f"thread-{tid}.jsonl"), "w") as fh:
+                fh.write(blob)
+
+    @classmethod
+    def load(cls, directory: str, name: str = "trace") -> "Trace":
+        import os
+
+        files = {}
+        for entry in sorted(os.listdir(directory)):
+            if entry.startswith("thread-") and entry.endswith(".jsonl"):
+                tid = int(entry[len("thread-"):-len(".jsonl")])
+                with open(os.path.join(directory, entry)) as fh:
+                    files[tid] = fh.read()
+        return cls.from_thread_files(files, name)

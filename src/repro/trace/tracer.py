@@ -1,0 +1,64 @@
+"""The run-time tracer (paper Section 3.1).
+
+An ``Interceptor`` installed on a cluster.  It records:
+
+* every HB-related operation (Table 2) from traced nodes;
+* lock/unlock operations (needed by the trigger module, Section 5.2);
+* memory accesses *subject to the scope policy* — selective by default.
+
+Nodes marked untraced (the coordination-service substrate) contribute no
+records at all, mirroring the paper's uninstrumented ZooKeeper.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.runtime.ops import Interceptor, LOCK_KINDS, MEM_KINDS, OpEvent
+from repro.trace.scope import FullScope, TracingScope
+from repro.trace.store import Trace
+
+
+class Tracer(Interceptor):
+    """Collects a ``Trace`` while the cluster runs."""
+
+    def __init__(
+        self,
+        scope: Optional[TracingScope] = None,
+        name: str = "trace",
+    ) -> None:
+        self.scope = scope or FullScope()
+        self.trace = Trace(name)
+        self.enabled = True
+        self.dropped_mem = 0  # accesses skipped by the scope policy
+        self.overhead_seconds = 0.0
+        self._nodes: dict = {}
+
+    def after(self, event: OpEvent) -> None:
+        if not self.enabled:
+            return
+        started = time.perf_counter()
+        try:
+            if not self._node_traced(event):
+                return
+            if event.kind in MEM_KINDS and not self.scope.should_trace_mem(event):
+                self.dropped_mem += 1
+                return
+            self.trace.append(event)
+        finally:
+            self.overhead_seconds += time.perf_counter() - started
+
+    def _node_traced(self, event: OpEvent) -> bool:
+        node = self._nodes.get(event.node)
+        return node.traced if node is not None else True
+
+    def bind(self, cluster: "object") -> "Tracer":
+        """Attach to a cluster (learns which nodes are traced).
+
+        Keeps a reference to the live node dict, so nodes added after
+        binding are still honoured.
+        """
+        self._nodes = cluster.nodes
+        cluster.add_interceptor(self)
+        return self

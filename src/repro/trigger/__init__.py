@@ -1,0 +1,32 @@
+"""DCbug triggering and validation (paper Section 5)."""
+
+from repro.trigger.controller import OrderController
+from repro.trigger.explorer import (
+    ClusterFactory,
+    TriggerModule,
+    TriggerOutcome,
+    TriggerRun,
+)
+from repro.trigger.gates import GateSpec, TriggerInterceptor
+from repro.trigger.naive import NaiveOutcome, NaiveSleepTrigger, SleepInjector
+from repro.trigger.placement import (
+    DEFAULT_INSTANCE_THRESHOLD,
+    GatePlan,
+    PlacementAnalyzer,
+)
+
+__all__ = [
+    "OrderController",
+    "GateSpec",
+    "TriggerInterceptor",
+    "GatePlan",
+    "PlacementAnalyzer",
+    "DEFAULT_INSTANCE_THRESHOLD",
+    "TriggerModule",
+    "TriggerOutcome",
+    "TriggerRun",
+    "ClusterFactory",
+    "NaiveSleepTrigger",
+    "NaiveOutcome",
+    "SleepInjector",
+]

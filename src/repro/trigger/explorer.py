@@ -1,0 +1,201 @@
+"""Ordering exploration and report validation (paper Section 5).
+
+For each DCbug report the explorer re-runs the system once per ordering
+permutation of the racing pair ("A before B", then "B before A"),
+steering execution with the controller + gates.  The verdict follows the
+paper's categories (Section 7.1):
+
+* both orders enforceable, some enforced run fails  → **HARMFUL**
+* both orders enforceable, no failures               → **BENIGN** (true
+  race, tolerated by the system's fault-tolerance)
+* the pair never co-occurs / only one order possible → **SERIAL** (the HB
+  model missed custom synchronization: detector false positive)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.detect.report import BugReport, ReportSet, Verdict
+from repro.runtime.cluster import Cluster, RunResult
+from repro.trigger.controller import OrderController
+from repro.trigger.gates import GateSpec, TriggerInterceptor
+from repro.trigger.placement import GatePlan
+
+#: A factory that builds a fresh, ready-to-run cluster for one seed.
+ClusterFactory = Callable[[int], Cluster]
+
+
+@dataclass
+class TriggerRun:
+    """One controlled re-execution."""
+
+    order: Tuple[str, str]
+    seed: int
+    enforced: bool
+    co_occurred: bool
+    result: RunResult
+
+    @property
+    def failed(self) -> bool:
+        return self.result.harmful
+
+    def describe(self) -> str:
+        status = "enforced" if self.enforced else (
+            "co-occurred" if self.co_occurred else "no-overlap"
+        )
+        kinds = ",".join(sorted({k.value for k in self.result.failure_kinds()}))
+        fail = f" FAILURES[{kinds}]" if kinds else ""
+        return f"{self.order[0]}->{self.order[1]} seed={self.seed}: {status}{fail}"
+
+
+@dataclass
+class TriggerOutcome:
+    """All runs for one report plus the final verdict."""
+
+    report: BugReport
+    plan: GatePlan
+    runs: List[TriggerRun] = field(default_factory=list)
+    verdict: Verdict = Verdict.UNKNOWN
+    detail: str = ""
+
+    def describe(self) -> str:
+        lines = [f"report #{self.report.report_id}: {self.verdict.value}"]
+        lines.append(self.plan.describe())
+        lines.extend("  " + run.describe() for run in self.runs)
+        if self.detail:
+            lines.append(f"  {self.detail}")
+        return "\n".join(lines)
+
+
+class TriggerModule:
+    """End-to-end triggering: run both orders, classify the report."""
+
+    def __init__(
+        self,
+        factory: ClusterFactory,
+        seeds: Sequence[int] = (0, 1),
+    ) -> None:
+        self.factory = factory
+        self.seeds = tuple(seeds)
+
+    def validate(self, report: BugReport, plan: GatePlan) -> TriggerOutcome:
+        outcome = TriggerOutcome(report=report, plan=plan)
+        orders = [("A", "B"), ("B", "A")]
+        enforced_orders = set()
+        failing_runs: List[TriggerRun] = []
+        for order in orders:
+            for seed in self.seeds:
+                run = self._run_once(order, seed, plan.gates)
+                outcome.runs.append(run)
+                if run.enforced:
+                    enforced_orders.add(order)
+                    if run.failed:
+                        failing_runs.append(run)
+                    break  # this order is settled; try the other one
+
+        if failing_runs and enforced_orders:
+            outcome.verdict = Verdict.HARMFUL
+            kinds = sorted(
+                {
+                    k.value
+                    for run in failing_runs
+                    for k in run.result.failure_kinds()
+                }
+            )
+            outcome.detail = (
+                f"failure ({', '.join(kinds)}) when enforcing "
+                + ", ".join(f"{o[0]}->{o[1]}" for o in sorted(enforced_orders))
+            )
+        elif len(enforced_orders) == 2:
+            outcome.verdict = Verdict.BENIGN
+            outcome.detail = "both orders executed without failures"
+        else:
+            outcome.verdict = Verdict.SERIAL
+            outcome.detail = (
+                "orders could not be enforced: accesses appear ordered by "
+                "synchronization the HB model did not capture"
+            )
+        report.verdict = outcome.verdict
+        report.verdict_detail = outcome.detail
+        return outcome
+
+    def validate_report(
+        self,
+        report: BugReport,
+        placement: "object",
+        max_candidates: int = 3,
+    ) -> TriggerOutcome:
+        """Validate a report, trying several dynamic candidates.
+
+        The paper's prototype gates the first dynamic instance of each
+        racing instruction and notes that failures tied to a *specific*
+        instance may be missed.  We mitigate that: if the first
+        candidate's plan only proves SERIAL, try the plans of later
+        candidates (deduplicated) before settling.
+        """
+        from repro.detect.report import _SEVERITY as severity
+
+        tried = set()
+        best: Optional[TriggerOutcome] = None
+        for candidate in report.candidates[:max_candidates]:
+            for plan in placement.plan_variants(candidate):
+                signature = tuple(
+                    (party, spec.site, spec.kinds, spec.instance)
+                    for party, spec in sorted(plan.gates.items())
+                )
+                if signature in tried:
+                    continue
+                tried.add(signature)
+                outcome = self.validate(report, plan)
+                if outcome.verdict is Verdict.HARMFUL:
+                    return outcome
+                if best is None or severity[outcome.verdict] > severity[best.verdict]:
+                    best = outcome
+                if outcome.verdict is Verdict.BENIGN:
+                    break  # variants are fallbacks for SERIAL only
+        if best is not None:
+            # validate() mutated the report on every call; restore the
+            # most severe outcome as the final word.
+            report.verdict = best.verdict
+            report.verdict_detail = best.detail
+        return best
+
+    def validate_all(
+        self, reports: ReportSet, plans: Dict[int, GatePlan]
+    ) -> List[TriggerOutcome]:
+        outcomes = []
+        for report in reports:
+            plan = plans.get(report.report_id)
+            if plan is None:
+                continue
+            outcomes.append(self.validate(report, plan))
+        return outcomes
+
+    # -- internals ----------------------------------------------------------
+
+    def _run_once(
+        self, order: Tuple[str, str], seed: int, gates: Dict[str, GateSpec]
+    ) -> TriggerRun:
+        cluster = self.factory(seed)
+        controller = OrderController(order)
+        fresh_gates = {
+            party: GateSpec(
+                site=spec.site,
+                kinds=spec.kinds,
+                instance=spec.instance,
+                note=spec.note,
+            )
+            for party, spec in gates.items()
+        }
+        TriggerInterceptor(controller, fresh_gates).bind(cluster)
+        result = cluster.run()
+        return TriggerRun(
+            order=order,
+            seed=seed,
+            enforced=controller.enforced,
+            co_occurred=controller.co_occurred,
+            result=result,
+        )

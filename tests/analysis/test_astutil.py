@@ -1,0 +1,73 @@
+"""Source indexing: function anchoring and the name-based call graph."""
+
+from repro.analysis import SourceIndex, access_calls_at_line
+from repro.analysis.astutil import call_target_name, receiver_paths
+import ast
+
+SOURCE = (
+    "def outer(self):\n"           # 1
+    "    v = self.store.get('k')\n"  # 2
+    "    helper(v)\n"                # 3
+    "\n"
+    "def helper(value):\n"           # 5
+    "    return value\n"             # 6
+    "\n"
+    "class Widget:\n"                # 8
+    "    def method(self):\n"        # 9
+    "        self.parts.put('a', 1)\n"  # 10
+)
+
+
+def _index():
+    return SourceIndex.from_sources({"repro/systems/demo/mod.py": SOURCE})
+
+
+def test_function_at_anchors_to_innermost():
+    index = _index()
+    fn = index.function_at("repro/systems/demo/mod.py", 2)
+    assert fn.name == "outer"
+    method = index.function_at("repro/systems/demo/mod.py", 10)
+    assert method.name == "method"
+
+
+def test_function_at_misses_gracefully():
+    index = _index()
+    assert index.function_at("repro/systems/demo/mod.py", 999) is None
+    assert index.function_at("elsewhere.py", 2) is None
+
+
+def test_functions_named():
+    index = _index()
+    assert [f.name for f in index.functions_named("helper")] == ["helper"]
+    assert index.functions_named("nope") == []
+
+
+def test_callers_of():
+    index = _index()
+    callers = index.callers_of("helper")
+    assert len(callers) == 1
+    assert callers[0].caller.name == "outer"
+    assert callers[0].line == 3
+
+
+def test_access_calls_at_line():
+    index = _index()
+    fn = index.function_at("repro/systems/demo/mod.py", 2)
+    calls = access_calls_at_line(fn, 2)
+    assert len(calls) == 1
+    assert call_target_name(calls[0]) == "get"
+    assert receiver_paths(calls[0]) == ["self.store"]
+
+
+def test_path_shortening_tolerates_absolute_paths():
+    index = SourceIndex.from_sources(
+        {"/abs/path/src/repro/systems/demo/mod.py": SOURCE}
+    )
+    # The same shortening convention the tracer's frames use.
+    fn = index.function_at("src/repro/systems/demo/mod.py", 2)
+    assert fn is not None and fn.name == "outer"
+
+
+def test_receiver_paths_for_name_receiver():
+    call = ast.parse("votes.put('a', 1)").body[0].value
+    assert receiver_paths(call) == ["votes"]

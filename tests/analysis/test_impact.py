@@ -1,0 +1,243 @@
+"""Taint, failure instructions, and impact estimation."""
+
+import ast
+
+from repro.analysis import (
+    DEFAULT_FAILURE_SPEC,
+    FailureClass,
+    ImpactAnalyzer,
+    RpcLink,
+    SourceIndex,
+    TaintAnalysis,
+    access_calls_at_line,
+    build_cfg,
+    find_failure_instructions,
+)
+from repro.ids import Site
+
+
+def _index(source, path="repro/systems/demo/app.py"):
+    return SourceIndex.from_sources({path: source})
+
+
+def _fn(index, name):
+    return index.functions_named(name)[0]
+
+
+class TestTaint:
+    def test_direct_assignment_propagates(self):
+        index = _index(
+            "def f(self):\n"
+            "    v = self.store.get('k')\n"
+            "    w = v + 1\n"
+            "    return w\n"
+        )
+        fn = _fn(index, "f")
+        sources = access_calls_at_line(fn, 2)
+        assert sources
+        taint = TaintAnalysis(fn).run(sources)
+        assert "v" in taint.tainted_names
+        assert "w" in taint.tainted_names
+        assert taint.return_tainted
+
+    def test_unrelated_vars_untainted(self):
+        index = _index(
+            "def f(self):\n"
+            "    v = self.store.get('k')\n"
+            "    other = 42\n"
+            "    return other\n"
+        )
+        fn = _fn(index, "f")
+        taint = TaintAnalysis(fn).run(access_calls_at_line(fn, 2))
+        assert "other" not in taint.tainted_names
+        assert not taint.return_tainted
+
+    def test_tainted_call_arguments_identified(self):
+        index = _index(
+            "def f(self):\n"
+            "    v = self.store.get('k')\n"
+            "    helper(v, 1)\n"
+        )
+        fn = _fn(index, "f")
+        taint = TaintAnalysis(fn).run(access_calls_at_line(fn, 2))
+        assert taint.tainted_call_args
+        _call, name, pos, _kw = taint.tainted_call_args[0]
+        assert name == "helper"
+        assert pos == [0]
+
+
+class TestFailureInstructions:
+    def test_all_four_classes_found(self):
+        index = _index(
+            "def f(self, x):\n"
+            "    if x:\n"
+            "        self.node.abort('bye')\n"
+            "    self.log.error('bad')\n"
+            "    while x:\n"
+            "        x -= 1\n"
+            "    raise RuntimeError('boom')\n"
+        )
+        cfg = build_cfg(_fn(index, "f").node)
+        classes = {
+            f.failure_class for f in find_failure_instructions(cfg)
+        }
+        assert classes == {
+            FailureClass.ABORT,
+            FailureClass.SEVERE_LOG,
+            FailureClass.LOOP_EXIT,
+            FailureClass.RAISE,
+        }
+
+    def test_info_log_not_a_failure(self):
+        index = _index("def f(self):\n    self.log.info('fine')\n")
+        cfg = build_cfg(_fn(index, "f").node)
+        assert not find_failure_instructions(cfg)
+
+
+class TestImpact:
+    def test_data_dependent_abort_found(self):
+        index = _index(
+            "def f(self):\n"
+            "    v = self.store.get('k')\n"
+            "    if v is None:\n"
+            "        self.node.abort('missing')\n"
+        )
+        analyzer = ImpactAnalyzer(index)
+        impact = analyzer.access_impact(
+            Site("repro/systems/demo/app.py", "f", 2)
+        )
+        assert impact.found
+
+    def test_no_failure_no_impact(self):
+        index = _index(
+            "def f(self):\n"
+            "    v = self.store.get('k')\n"
+            "    return v\n"
+            "def g(self):\n"
+            "    f(self)\n"
+        )
+        analyzer = ImpactAnalyzer(index)
+        impact = analyzer.access_impact(
+            Site("repro/systems/demo/app.py", "f", 2)
+        )
+        assert not impact.found
+
+    def test_loop_exit_dependence_found(self):
+        index = _index(
+            "def f(self):\n"
+            "    while not self.flag.get():\n"
+            "        self.wait()\n"
+        )
+        analyzer = ImpactAnalyzer(index)
+        impact = analyzer.access_impact(
+            Site("repro/systems/demo/app.py", "f", 2)
+        )
+        assert impact.found
+        assert any("loop_exit" in r for r in impact.reasons)
+
+    def test_one_level_caller_return_value(self):
+        index = _index(
+            "def reader(self):\n"
+            "    return self.store.get('k')\n"
+            "\n"
+            "def caller(self):\n"
+            "    v = reader(self)\n"
+            "    if v is None:\n"
+            "        self.log.fatal('gone')\n"
+        )
+        analyzer = ImpactAnalyzer(index)
+        impact = analyzer.access_impact(
+            Site("repro/systems/demo/app.py", "reader", 2)
+        )
+        assert impact.found
+        assert any("caller" in r for r in impact.reasons)
+
+    def test_one_level_callee_argument(self):
+        index = _index(
+            "def f(self):\n"
+            "    v = self.store.get('k')\n"
+            "    check(self, v)\n"
+            "\n"
+            "def check(self, value):\n"
+            "    if value is None:\n"
+            "        self.node.abort('nope')\n"
+        )
+        analyzer = ImpactAnalyzer(index)
+        impact = analyzer.access_impact(
+            Site("repro/systems/demo/app.py", "f", 2)
+        )
+        assert impact.found
+        assert any("callee" in r for r in impact.reasons)
+
+    def test_two_level_hops_not_followed(self):
+        """Depth is one level, matching the paper's accuracy choice."""
+        index = _index(
+            "def reader(self):\n"
+            "    return self.store.get('k')\n"
+            "\n"
+            "def mid(self):\n"
+            "    return reader(self)\n"
+            "\n"
+            "def outer(self):\n"
+            "    v = mid(self)\n"
+            "    if v is None:\n"
+            "        self.node.abort('x')\n"
+        )
+        analyzer = ImpactAnalyzer(index)
+        impact = analyzer.access_impact(
+            Site("repro/systems/demo/app.py", "reader", 2)
+        )
+        assert not impact.found
+
+    def test_distributed_impact_via_rpc_link(self):
+        """The MR-3274 shape: an RPC handler read feeds a remote polling
+        loop.  The handler is registered under a *different* method name,
+        so the name-based call graph cannot connect them — only the
+        RPC-link analysis (paper's distributed impact) can."""
+        index = _index(
+            "def lookup_task(self, jid):\n"
+            "    return self.tasks.get(jid)\n"
+            "\n"
+            "def poll(self, nm):\n"
+            "    while nm.rpc('am').get_task('j1') is None:\n"
+            "        nm.wait()\n"
+        )
+        link = RpcLink(
+            method="get_task",
+            handler_func="lookup_task",
+            caller_sites=(Site("repro/systems/demo/app.py", "poll", 5),),
+        )
+        analyzer = ImpactAnalyzer(index, rpc_links=[link])
+        impact = analyzer.access_impact(
+            Site("repro/systems/demo/app.py", "lookup_task", 2)
+        )
+        assert impact.found
+        assert any("RPC" in r for r in impact.reasons)
+
+    def test_rpc_named_caller_found_via_call_graph(self):
+        """When handler and method share a name the caller hop suffices."""
+        index = _index(
+            "def get_task(self, jid):\n"
+            "    return self.tasks.get(jid)\n"
+            "\n"
+            "def poll(self, nm):\n"
+            "    while nm.rpc('am').get_task('j1') is None:\n"
+            "        nm.wait()\n"
+        )
+        analyzer = ImpactAnalyzer(index)
+        impact = analyzer.access_impact(
+            Site("repro/systems/demo/app.py", "get_task", 2)
+        )
+        assert impact.found
+
+    def test_impact_is_cached(self):
+        index = _index(
+            "def f(self):\n"
+            "    v = self.store.get('k')\n"
+            "    return v\n"
+        )
+        analyzer = ImpactAnalyzer(index)
+        site = Site("repro/systems/demo/app.py", "f", 2)
+        first = analyzer.access_impact(site)
+        second = analyzer.access_impact(site)
+        assert first is second

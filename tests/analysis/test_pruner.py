@@ -1,0 +1,79 @@
+"""Static pruning end-to-end on real workload traces."""
+
+import pytest
+
+from repro.analysis import SourceIndex, StaticPruner
+from repro.detect import ReportSet, detect_races
+from repro.systems import workload_by_id
+from repro.trace import Tracer, selective_scope_for
+
+
+@pytest.fixture(scope="module")
+def mr3274_artifacts():
+    workload = workload_by_id("MR-3274")
+    cluster = workload.cluster(0, churn=False)
+    tracer = Tracer(scope=selective_scope_for(workload.modules()))
+    tracer.bind(cluster)
+    cluster.run()
+    detection = detect_races(tracer.trace)
+    reports = ReportSet.from_detection(detection)
+    index = SourceIndex.from_modules(workload.modules())
+    pruner = StaticPruner.for_trace(index, tracer.trace)
+    return workload, tracer.trace, reports, pruner
+
+
+def test_root_bug_survives_pruning(mr3274_artifacts):
+    _w, _trace, reports, pruner = mr3274_artifacts
+    result = pruner.apply(reports)
+    kept_vars = {
+        r.representative.variable for r in result.kept
+    }
+    assert "am.tasks" in kept_vars
+
+
+def test_impact_reason_mentions_distributed_or_loop(mr3274_artifacts):
+    """The get_task read's impact is the remote polling loop."""
+    _w, _trace, reports, pruner = mr3274_artifacts
+    get_remove = [
+        r
+        for r in reports
+        if any(
+            a.site and "get_task" in a.site.func
+            for a in r.representative.accesses()
+        )
+    ]
+    assert get_remove
+    decision = pruner.assess(get_remove[0])
+    assert decision.keep
+    assert any("loop_exit" in reason for reason in decision.reasons)
+
+
+def test_impactless_candidate_pruned(mr3274_artifacts):
+    """registered_count is written under a lock in a handler and read by
+    nothing failure-relevant: its (hypothetical) reports get pruned."""
+    _w, trace, reports, pruner = mr3274_artifacts
+    counted = [
+        r
+        for r in reports
+        if "registered_count" in r.representative.variable
+    ]
+    for report in counted:
+        decision = pruner.assess(report)
+        assert not decision.keep
+
+
+def test_prune_result_partition(mr3274_artifacts):
+    _w, _trace, reports, pruner = mr3274_artifacts
+    result = pruner.apply(reports)
+    assert len(result.kept) + len(result.pruned) == len(reports)
+    assert result.seconds >= 0
+    assert "static pruning kept" in result.summary()
+
+
+def test_decisions_cover_all_reports(mr3274_artifacts):
+    _w, _trace, reports, pruner = mr3274_artifacts
+    result = pruner.apply(reports)
+    assert len(result.decisions) == len(reports)
+    for decision in result.decisions:
+        if decision.keep:
+            assert decision.reasons

@@ -1,0 +1,86 @@
+"""Flow-sensitive reaching definitions."""
+
+import ast
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.reaching import (
+    compute_reaching_definitions,
+    definitions_in,
+    uses_in,
+)
+
+
+def _cfg(source):
+    return build_cfg(ast.parse(source).body[0])
+
+
+def _node_at_line(cfg, line, kind=None):
+    nodes = [
+        n
+        for n in cfg.statement_nodes()
+        if n.line == line and (kind is None or n.kind == kind)
+    ]
+    assert nodes, f"no node at line {line}"
+    return nodes[0]
+
+
+def test_straight_line_def_reaches_use():
+    cfg = _cfg("def f():\n    x = 1\n    y = x\n")
+    rd = compute_reaching_definitions(cfg)
+    def_node = _node_at_line(cfg, 2)
+    use_node = _node_at_line(cfg, 3)
+    assert rd.reaching(use_node.nid, "x") == {def_node.nid}
+
+
+def test_redefinition_kills_earlier_def():
+    cfg = _cfg("def f():\n    x = 1\n    x = 2\n    y = x\n")
+    rd = compute_reaching_definitions(cfg)
+    second_def = _node_at_line(cfg, 3)
+    use_node = _node_at_line(cfg, 4)
+    assert rd.reaching(use_node.nid, "x") == {second_def.nid}
+
+
+def test_branch_merges_definitions():
+    cfg = _cfg(
+        "def f(c):\n"
+        "    if c:\n"
+        "        x = 1\n"
+        "    else:\n"
+        "        x = 2\n"
+        "    y = x\n"
+    )
+    rd = compute_reaching_definitions(cfg)
+    use_node = _node_at_line(cfg, 6)
+    reaching = rd.reaching(use_node.nid, "x")
+    assert len(reaching) == 2
+
+
+def test_loop_definition_reaches_condition():
+    cfg = _cfg("def f(n):\n    while n:\n        n = n - 1\n")
+    rd = compute_reaching_definitions(cfg)
+    cond = _node_at_line(cfg, 2, kind="cond")
+    body_def = _node_at_line(cfg, 3)
+    assert body_def.nid in rd.reaching(cond.nid, "n")
+
+
+def test_def_use_pairs_enumeration():
+    cfg = _cfg("def f():\n    a = 1\n    b = a\n    c = b\n")
+    rd = compute_reaching_definitions(cfg)
+    pairs = rd.def_use_pairs()
+    variables = {v for _d, _u, v in pairs}
+    assert {"a", "b"} <= variables
+
+
+def test_definitions_and_uses_extraction():
+    cfg = _cfg(
+        "def f(items):\n"
+        "    total = 0\n"
+        "    for item in items:\n"
+        "        total = total + item\n"
+    )
+    for_cond = _node_at_line(cfg, 3, kind="cond")
+    assert "item" in definitions_in(for_cond)
+    assert "items" in uses_in(for_cond)
+    body = _node_at_line(cfg, 4)
+    assert definitions_in(body) == ["total"]
+    assert set(uses_in(body)) == {"total", "item"}

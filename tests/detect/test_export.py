@@ -1,0 +1,49 @@
+"""Report set serialization."""
+
+from repro.detect import ReportSet, Verdict, detect_races
+from repro.detect.export import (
+    dump_reports,
+    load_reports,
+    load_reports_file,
+    save_reports,
+)
+from repro.runtime import Cluster
+from repro.trace import FullScope, Tracer
+
+
+def _reports():
+    cluster = Cluster(seed=0)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    node = cluster.add_node("n")
+    var = node.shared_var("x", 0)
+    node.spawn(lambda: var.set(1), name="a")
+    node.spawn(lambda: var.get(), name="b")
+    cluster.run()
+    return ReportSet.from_detection(detect_races(tracer.trace))
+
+
+def test_roundtrip_preserves_everything():
+    reports = _reports()
+    reports.reports[0].verdict = Verdict.HARMFUL
+    reports.reports[0].verdict_detail = "hang when B first"
+    restored = load_reports(dump_reports(reports))
+    assert len(restored) == len(reports)
+    first = restored.reports[0]
+    assert first.verdict is Verdict.HARMFUL
+    assert first.verdict_detail == "hang when B first"
+    assert first.static_pair == reports.reports[0].static_pair
+    assert first.callstack_pair == reports.reports[0].callstack_pair
+    assert first.dynamic_instances == reports.reports[0].dynamic_instances
+
+
+def test_file_roundtrip(tmp_path):
+    reports = _reports()
+    path = tmp_path / "reports.json"
+    save_reports(reports, str(path))
+    restored = load_reports_file(str(path))
+    assert len(restored) == len(reports)
+
+
+def test_json_is_stable():
+    reports = _reports()
+    assert dump_reports(reports) == dump_reports(reports)

@@ -1,0 +1,98 @@
+"""Lockset annotation and filtering."""
+
+from repro.detect import detect_races, split_by_lockset
+from repro.detect.lockset import LocksetIndex
+from repro.runtime import Cluster
+from repro.trace import FullScope, Tracer
+
+
+def _run(build, seed=0):
+    cluster = Cluster(seed=seed)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    build(cluster)
+    cluster.run()
+    return tracer.trace
+
+
+def test_held_locks_tracked_per_access():
+    def build(cluster):
+        node = cluster.add_node("n")
+        var = node.shared_var("x", 0)
+        lock = node.lock("guard")
+
+        def worker():
+            var.set(1)  # unlocked
+            with lock:
+                var.set(2)  # locked
+
+        node.spawn(worker, name="w")
+
+    trace = _run(build)
+    index = LocksetIndex(trace)
+    writes = [r for r in trace.mem_accesses() if r.is_write]
+    assert index.held_at(writes[0]) == frozenset()
+    assert len(index.held_at(writes[1])) == 1
+
+
+def test_common_lock_pairs_split_out():
+    def build(cluster):
+        node = cluster.add_node("n")
+        var = node.shared_var("x", 0)
+        lock = node.lock("guard")
+
+        def writer():
+            with lock:
+                var.set(1)
+
+        def reader():
+            with lock:
+                var.get()
+
+        node.spawn(writer, name="w")
+        node.spawn(reader, name="r")
+
+    trace = _run(build)
+    detection = detect_races(trace)
+    assert detection.candidates  # DCatch reports them (locks != ordering)
+    split = split_by_lockset(trace, detection.candidates)
+    assert split.lock_protected
+    assert not split.unprotected
+    _candidate, common = split.lock_protected[0]
+    assert len(common) == 1
+
+
+def test_unprotected_pairs_stay():
+    def build(cluster):
+        node = cluster.add_node("n")
+        var = node.shared_var("x", 0)
+        node.spawn(lambda: var.set(1), name="a")
+        node.spawn(lambda: var.set(2), name="b")
+
+    trace = _run(build)
+    detection = detect_races(trace)
+    split = split_by_lockset(trace, detection.candidates)
+    assert split.unprotected
+    assert not split.lock_protected
+
+
+def test_reentrant_lock_depth_handled():
+    def build(cluster):
+        node = cluster.add_node("n")
+        var = node.shared_var("x", 0)
+        lock = node.lock("guard")
+
+        def worker():
+            with lock:
+                with lock:
+                    var.set(1)
+                var.set(2)  # still inside the outer acquire
+            var.set(3)  # released
+
+        node.spawn(worker, name="w")
+
+    trace = _run(build)
+    index = LocksetIndex(trace)
+    writes = [r for r in trace.mem_accesses() if r.is_write]
+    assert len(index.held_at(writes[0])) == 1
+    assert len(index.held_at(writes[1])) == 1
+    assert index.held_at(writes[2]) == frozenset()

@@ -1,0 +1,62 @@
+"""Property-based tests for chunked detection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detect import detect_races
+from repro.detect.chunked import chunk_trace, detect_races_chunked
+from repro.runtime import Cluster
+from repro.trace import FullScope, Tracer
+
+
+def _trace(writers, seed):
+    cluster = Cluster(seed=seed)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    node = cluster.add_node("n")
+    var = node.shared_var("x", 0)
+    for i in range(writers):
+        node.spawn(lambda: var.set(1), name=f"w{i}")
+    cluster.run()
+    return tracer.trace
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    writers=st.integers(2, 5),
+    seed=st.integers(0, 3),
+    chunk_size=st.integers(3, 60),
+    overlap=st.integers(0, 2),
+)
+def test_chunk_windows_cover_trace(writers, seed, chunk_size, overlap):
+    trace = _trace(writers, seed)
+    chunks = chunk_trace(trace, chunk_size, min(overlap, chunk_size - 1))
+    covered = set()
+    for chunk in chunks:
+        seqs = [r.seq for r in chunk.records]
+        assert seqs == sorted(seqs)
+        covered |= set(seqs)
+    assert covered == {r.seq for r in trace.records}
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    writers=st.integers(2, 4),
+    seed=st.integers(0, 3),
+    chunk_size=st.integers(5, 40),
+)
+def test_within_window_candidates_are_found(writers, seed, chunk_size):
+    """Any whole-trace candidate whose accesses share a chunk window is
+    found by chunked detection."""
+    trace = _trace(writers, seed)
+    whole = detect_races(trace)
+    chunked = detect_races_chunked(trace, chunk_size)
+    chunk_ranges = [
+        (chunk.records[0].seq, chunk.records[-1].seq)
+        for chunk in chunk_trace(trace, chunk_size)
+        if chunk.records
+    ]
+    found = {(c.first.seq, c.second.seq) for c in chunked.candidates}
+    for candidate in whole.candidates:
+        a, b = candidate.first.seq, candidate.second.seq
+        if any(lo <= a and b <= hi for lo, hi in chunk_ranges):
+            assert (a, b) in found, (a, b)

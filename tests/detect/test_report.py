@@ -1,0 +1,75 @@
+"""Report sets: grouping, counting, verdict bookkeeping."""
+
+from repro.detect import ReportSet, Verdict, detect_races
+from repro.detect.report import BugReport, _worst_verdict
+from repro.runtime import Cluster
+from repro.trace import FullScope, Tracer
+
+
+def _reports():
+    cluster = Cluster(seed=0)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    node = cluster.add_node("n")
+    var = node.shared_var("x", 0)
+
+    def writer():
+        var.set(1)
+        var.set(2)
+
+    node.spawn(writer, name="w")
+    node.spawn(lambda: var.get(), name="r")
+    cluster.run()
+    return ReportSet.from_detection(detect_races(tracer.trace))
+
+
+def test_report_ids_are_stable_and_unique():
+    reports = _reports()
+    ids = [r.report_id for r in reports]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == len(ids)
+
+
+def test_counts_by_verdict():
+    reports = _reports()
+    assert reports.callstack_count() == len(reports.reports)
+    assert reports.callstack_count(Verdict.HARMFUL) == 0
+    reports.reports[0].verdict = Verdict.HARMFUL
+    assert reports.callstack_count(Verdict.HARMFUL) == 1
+
+
+def test_static_count_uses_worst_verdict():
+    reports = _reports()
+    groups = reports.static_groups()
+    # Give one report in a group a harmful verdict, others benign: the
+    # group must count as harmful (the paper's CA-1011 note).
+    for group in groups.values():
+        for i, report in enumerate(group):
+            report.verdict = Verdict.HARMFUL if i == 0 else Verdict.BENIGN
+    assert reports.static_count(Verdict.HARMFUL) == len(groups)
+    assert reports.static_count(Verdict.BENIGN) == 0
+
+
+def test_worst_verdict_ordering():
+    assert _worst_verdict([Verdict.SERIAL, Verdict.HARMFUL]) is Verdict.HARMFUL
+    assert _worst_verdict([Verdict.BENIGN, Verdict.SERIAL]) is Verdict.BENIGN
+    assert _worst_verdict([Verdict.UNKNOWN]) is Verdict.UNKNOWN
+
+
+def test_describe_mentions_both_accesses():
+    reports = _reports()
+    report = reports.reports[0]
+    text = report.describe()
+    assert "mem_" in text
+    assert "dynamic instances" in text
+
+
+def test_filter_keeps_identity():
+    reports = _reports()
+    kept = reports.filter([reports.reports[0]])
+    assert len(kept) == 1
+    assert kept.reports[0] is reports.reports[0]
+
+
+def test_summary_counts():
+    reports = _reports()
+    assert "reports" in reports.summary()

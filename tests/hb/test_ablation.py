@@ -1,0 +1,65 @@
+"""Trace-level ablation mechanics."""
+
+import pytest
+
+from repro.hb import FAMILY_KINDS, ablate_trace
+from repro.runtime import Cluster, OpKind
+from repro.trace import FullScope, Tracer
+
+
+def _trace():
+    cluster = Cluster(seed=0)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    node = cluster.add_node("n")
+    var = node.shared_var("x", 0)
+    q = node.event_queue("q")
+    q.register("e", lambda ev: var.set(1))
+
+    def main():
+        var.get()
+        q.post("e")
+
+    node.spawn(main, name="main")
+    cluster.run()
+    return tracer.trace
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(ValueError):
+        ablate_trace(_trace(), {"nonsense"})
+
+
+def test_event_family_drops_records_and_collapses_segments():
+    trace = _trace()
+    ablated = ablate_trace(trace, {"event"})
+    kinds = {r.kind for r in ablated.records}
+    assert not (kinds & FAMILY_KINDS["event"])
+    # The handler's write collapsed into the consumer thread's base
+    # segment: for each tid, all records now share one segment.
+    segs_per_tid = {}
+    for record in ablated.records:
+        segs_per_tid.setdefault(record.tid, set()).add(record.segment)
+    for tid, segs in segs_per_tid.items():
+        assert len(segs) == 1
+
+
+def test_non_ablated_records_survive_unchanged():
+    trace = _trace()
+    ablated = ablate_trace(trace, {"push"})  # nothing uses push here
+    assert len(ablated) == len(trace)
+    assert [r.seq for r in ablated.records] == [r.seq for r in trace.records]
+
+
+def test_multiple_families_at_once():
+    trace = _trace()
+    ablated = ablate_trace(trace, {"event", "thread"})
+    kinds = {r.kind for r in ablated.records}
+    assert OpKind.EVENT_CREATE not in kinds
+    assert OpKind.THREAD_BEGIN not in kinds
+    assert any(r.kind is OpKind.MEM_WRITE for r in ablated.records)
+
+
+def test_ablated_trace_has_new_name():
+    trace = _trace()
+    ablated = ablate_trace(trace, {"rpc"})
+    assert "ablate" in ablated.name

@@ -1,0 +1,39 @@
+"""DOT export of the HB graph."""
+
+from repro.hb import HBGraph, graph_to_dot
+from repro.runtime import Cluster
+from repro.trace import FullScope, Tracer
+
+
+def _graph():
+    cluster = Cluster(seed=0)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    b.rpc_server.register("ping", lambda: "pong")
+    q = a.event_queue("q")
+    q.register("e", lambda ev: None)
+
+    def worker():
+        a.rpc("b").ping()
+        q.post("e")
+
+    a.spawn(worker, name="w")
+    cluster.run()
+    return HBGraph(tracer.trace)
+
+
+def test_dot_output_structure():
+    dot = graph_to_dot(_graph())
+    assert dot.startswith("digraph hb {")
+    assert dot.rstrip().endswith("}")
+    assert 'label="Mrpc"' in dot
+    assert 'label="Eenq"' in dot
+    assert "->" in dot
+
+
+def test_dot_respects_node_cap():
+    graph = _graph()
+    dot = graph_to_dot(graph, max_nodes=3)
+    node_lines = [l for l in dot.splitlines() if l.strip().startswith("n") and "[label=" in l and "->" not in l]
+    assert len(node_lines) <= 3

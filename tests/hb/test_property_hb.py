@@ -1,0 +1,112 @@
+"""Property-based tests: HB graph invariants over random workloads."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hb import HBGraph, NaiveReachability
+from repro.runtime import Cluster, sleep
+from repro.trace import FullScope, Tracer
+
+# A random workload recipe: a list of per-thread scripts, each script a
+# list of primitive actions against shared state.
+ACTIONS = st.sampled_from(
+    ["set_a", "get_a", "set_b", "get_b", "post_event", "send_msg", "sleep"]
+)
+SCRIPTS = st.lists(
+    st.lists(ACTIONS, min_size=1, max_size=6), min_size=1, max_size=4
+)
+
+
+def _build_workload(cluster, scripts):
+    n1 = cluster.add_node("n1")
+    n2 = cluster.add_node("n2")
+    var_a = n1.shared_var("a", 0)
+    var_b = n1.shared_var("b", 0)
+    queue = n1.event_queue("q", consumers=1)
+    queue.register("e", lambda ev: var_b.get())
+    n2.on_message("m", lambda payload, src: None)
+
+    def make_body(script):
+        def body():
+            for action in script:
+                if action == "set_a":
+                    var_a.set(1)
+                elif action == "get_a":
+                    var_a.get()
+                elif action == "set_b":
+                    var_b.set(2)
+                elif action == "get_b":
+                    var_b.get()
+                elif action == "post_event":
+                    queue.post("e")
+                elif action == "send_msg":
+                    n1.send("n2", "m", None)
+                elif action == "sleep":
+                    sleep(2)
+
+        return body
+
+    for i, script in enumerate(scripts):
+        n1.spawn(make_body(script), name=f"w{i}")
+
+
+def _trace_for(scripts, seed):
+    cluster = Cluster(seed=seed, max_steps=20_000)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    _build_workload(cluster, scripts)
+    result = cluster.run()
+    assert not result.harmful
+    return tracer.trace
+
+
+@settings(max_examples=25, deadline=None)
+@given(scripts=SCRIPTS, seed=st.integers(0, 5))
+def test_hb_is_strict_partial_order(scripts, seed):
+    trace = _trace_for(scripts, seed)
+    graph = HBGraph(trace)
+    records = trace.records[:: max(1, len(trace.records) // 30)]
+    for x in records:
+        assert not graph.happens_before(x, x)
+    for x, y in itertools.combinations(records, 2):
+        assert not (graph.happens_before(x, y) and graph.happens_before(y, x))
+    for x, y, z in itertools.combinations(records[:12], 3):
+        if graph.happens_before(x, y) and graph.happens_before(y, z):
+            assert graph.happens_before(x, z)
+
+
+@settings(max_examples=20, deadline=None)
+@given(scripts=SCRIPTS, seed=st.integers(0, 5))
+def test_hb_edges_respect_execution_order(scripts, seed):
+    """Predicted HB never contradicts the observed schedule: if a
+    happens-before b, then a executed before b in this run."""
+    trace = _trace_for(scripts, seed)
+    graph = HBGraph(trace)
+    records = trace.records[:: max(1, len(trace.records) // 25)]
+    for x, y in itertools.combinations(records, 2):
+        if graph.happens_before(x, y):
+            assert x.seq < y.seq
+        if graph.happens_before(y, x):
+            assert y.seq < x.seq
+
+
+@settings(max_examples=15, deadline=None)
+@given(scripts=SCRIPTS, seed=st.integers(0, 3))
+def test_bitset_engine_matches_naive(scripts, seed):
+    trace = _trace_for(scripts, seed)
+    graph = HBGraph(trace)
+    naive = NaiveReachability(graph)
+    records = trace.records[:: max(1, len(trace.records) // 20)]
+    for x, y in itertools.combinations(records, 2):
+        assert graph.happens_before(x, y) == naive.happens_before(x, y)
+
+
+@settings(max_examples=15, deadline=None)
+@given(scripts=SCRIPTS)
+def test_same_seed_same_trace(scripts):
+    t1 = _trace_for(scripts, seed=1)
+    t2 = _trace_for(scripts, seed=1)
+    assert [(r.kind, r.tid, r.segment) for r in t1.records] == [
+        (r.kind, r.tid, r.segment) for r in t2.records
+    ]

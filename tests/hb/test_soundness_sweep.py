@@ -1,0 +1,53 @@
+"""Soundness sweep: HB construction never produces backward edges.
+
+Two real bugs in this repo's history were ordering inversions between a
+record's emission point and its operation's effect (ZK updates recorded
+after their notifications; thread-create records after the child
+started).  ``HBGraph.add_edge`` now rejects backward edges loudly; this
+sweep builds the graph for every workload under several seeds and both
+scopes so any future inversion fails here first.
+"""
+
+import pytest
+
+from repro.detect import detect_races
+from repro.systems import all_workloads, extra_workloads
+from repro.trace import FullScope, Tracer, selective_scope_for
+
+
+@pytest.mark.parametrize(
+    "workload",
+    all_workloads() + extra_workloads(),
+    ids=lambda w: w.info.bug_id,
+)
+def test_no_backward_edges_any_workload(workload):
+    for seed in (0, 3, 7):
+        cluster = workload.cluster(seed, churn=False)
+        tracer = Tracer(scope=FullScope()).bind(cluster)
+        cluster.run()
+        # Construction raises ReproError on any backward edge.
+        detection = detect_races(tracer.trace)
+        graph = detection.graph
+        for i, succs in enumerate(graph._succ):
+            for j in succs:
+                assert graph.backbone[i].seq < graph.backbone[j].seq
+
+
+def test_no_backward_edges_selective_scope():
+    for workload in all_workloads():
+        cluster = workload.cluster(None)
+        tracer = Tracer(scope=selective_scope_for(workload.modules()))
+        tracer.bind(cluster)
+        cluster.run()
+        detect_races(tracer.trace)  # raises on inversion
+
+
+def test_reads_never_observe_future_writes():
+    """The tracer invariant behind it all: observed_write < read seq."""
+    for workload in all_workloads():
+        cluster = workload.cluster(None, churn=False)
+        tracer = Tracer(scope=FullScope()).bind(cluster)
+        cluster.run()
+        for record in tracer.trace.mem_accesses():
+            if record.observed_write is not None:
+                assert record.observed_write < record.seq, record

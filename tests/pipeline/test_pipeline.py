@@ -1,0 +1,76 @@
+"""End-to-end pipeline behaviour on a fast benchmark."""
+
+import pytest
+
+from repro.detect import Verdict
+from repro.pipeline import DCatch, PipelineConfig
+from repro.systems import workload_by_id
+
+
+@pytest.fixture(scope="module")
+def zk1144_result():
+    return DCatch(workload_by_id("ZK-1144")).run()
+
+
+def test_monitored_run_correct(zk1144_result):
+    assert not zk1144_result.monitored_result.harmful
+    assert zk1144_result.oom is None
+
+
+def test_stages_all_ran(zk1144_result):
+    result = zk1144_result
+    assert result.detection is not None
+    assert result.reports_pre_prune is not None
+    assert result.prune_result is not None
+    assert result.reports is not None
+    for key in ("base_seconds", "tracing_seconds", "analysis_seconds",
+                "pruning_seconds", "trigger_seconds"):
+        assert result.timings[key] >= 0
+
+
+def test_root_bug_confirmed_harmful(zk1144_result):
+    harmful = [
+        o for o in zk1144_result.outcomes if o.verdict is Verdict.HARMFUL
+    ]
+    assert harmful
+    rep = harmful[0].report.representative
+    assert "accepted_epoch" in rep.variable
+
+
+def test_verdict_counts_views(zk1144_result):
+    static = zk1144_result.verdict_counts("static")
+    callstack = zk1144_result.verdict_counts("callstack")
+    assert static["harmful"] >= 1
+    assert callstack["harmful"] >= static["harmful"] - 1
+    assert set(static) == {"harmful", "benign", "serial"}
+
+
+def test_summary_renders(zk1144_result):
+    text = zk1144_result.summary()
+    assert "ZK-1144" in text
+    assert "DCatch reports" in text
+
+
+def test_no_trigger_config():
+    config = PipelineConfig(trigger=False)
+    result = DCatch(workload_by_id("ZK-1270"), config).run()
+    assert result.outcomes == []
+    assert result.reports is not None
+    assert all(r.verdict is Verdict.UNKNOWN for r in result.reports)
+
+
+def test_full_scope_config_traces_more():
+    selective = DCatch(
+        workload_by_id("ZK-1270"), PipelineConfig(trigger=False)
+    ).run()
+    full = DCatch(
+        workload_by_id("ZK-1270"),
+        PipelineConfig(trigger=False, scope="full"),
+    ).run()
+    assert len(full.trace) > len(selective.trace)
+
+
+def test_monitored_seed_override():
+    config = PipelineConfig(trigger=False, monitored_seed=3)
+    result = DCatch(workload_by_id("ZK-1144"), config).run()
+    assert result.monitored_result.seed == 3

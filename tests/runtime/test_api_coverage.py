@@ -1,0 +1,188 @@
+"""Coverage for smaller public API surfaces."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime import Cluster, FailureKind, OpKind, sleep
+
+
+def _in_thread(body, seed=0):
+    cluster = Cluster(seed=seed)
+    node = cluster.add_node("n")
+    out = {}
+
+    def main():
+        out["value"] = body(cluster, node)
+
+    node.spawn(main, name="main")
+    result = cluster.run()
+    assert not result.harmful, [str(f) for f in result.failures]
+    return out["value"], result
+
+
+class TestSharedSet:
+    def test_add_discard_contains(self):
+        def body(cluster, node):
+            s = node.shared_set("s")
+            s.add("a")
+            s.add("b")
+            removed = s.discard("a")
+            missing = s.discard("zz")
+            return (removed, missing, s.contains("b"), s.size(), s.snapshot())
+
+        (removed, missing, has_b, size, snap), _ = _in_thread(body)
+        assert removed and not missing
+        assert has_b and size == 1
+        assert snap == ["b"]
+
+    def test_is_empty(self):
+        def body(cluster, node):
+            s = node.shared_set("s")
+            before = s.is_empty()
+            s.add(1)
+            return (before, s.is_empty())
+
+        (before, after), _ = _in_thread(body)
+        assert before and not after
+
+
+class TestSharedVarCas:
+    def test_cas_success_and_failure(self):
+        def body(cluster, node):
+            v = node.shared_var("v", "old")
+            won = v.compare_and_set("old", "new")
+            lost = v.compare_and_set("old", "newer")
+            return (won, lost, v.get())
+
+        (won, lost, value), _ = _in_thread(body)
+        assert won and not lost
+        assert value == "new"
+
+    def test_cas_mutual_exclusion(self):
+        cluster = Cluster(seed=5)
+        node = cluster.add_node("n")
+        leader = node.shared_var("leader", None)
+        winners = []
+
+        def contender(tag):
+            def body():
+                if leader.compare_and_set(None, tag):
+                    winners.append(tag)
+
+            return body
+
+        for tag in ("a", "b", "c"):
+            node.spawn(contender(tag), name=tag)
+        cluster.run()
+        assert len(winners) == 1  # CAS is atomic: exactly one winner
+
+
+class TestEventQueueExtras:
+    def test_default_handler(self):
+        cluster = Cluster(seed=0)
+        node = cluster.add_node("n")
+        q = node.event_queue("q")
+        got = []
+        q.set_default_handler(lambda ev: got.append(ev.etype))
+        node.spawn(lambda: q.post("anything"), name="p")
+        cluster.run()
+        assert got == ["anything"]
+
+    def test_unhandled_event_warns_but_survives(self):
+        cluster = Cluster(seed=0)
+        node = cluster.add_node("n")
+        q = node.event_queue("q")
+        node.spawn(lambda: q.post("mystery"), name="p")
+        result = cluster.run()
+        assert result.completed and not result.harmful
+        assert any("no handler" in line for line in node.log.lines)
+
+    def test_pending_counts(self):
+        cluster = Cluster(seed=0)
+        node = cluster.add_node("n")
+        q = node.event_queue("q")
+        q.register("e", lambda ev: None)
+        observed = {}
+
+        def poster():
+            for _ in range(3):
+                q.post("e")
+            observed["pending"] = q.pending()
+
+        node.spawn(poster, name="p")
+        cluster.run()
+        assert 0 <= observed["pending"] <= 3
+        assert q.pending() == 0  # drained by run end
+
+    def test_zero_consumers_rejected(self):
+        cluster = Cluster(seed=0)
+        node = cluster.add_node("n")
+        with pytest.raises(ReproError):
+            node.event_queue("bad", consumers=0)
+
+
+class TestRpcExport:
+    def test_export_registers_public_methods(self):
+        class Service:
+            def ping(self):
+                return "pong"
+
+            def add(self, a, b):
+                return a + b
+
+            def _private(self):
+                return "hidden"
+
+        cluster = Cluster(seed=0)
+        server = cluster.add_node("server")
+        client = cluster.add_node("client")
+        server.rpc_server.export(Service())
+        out = {}
+
+        def caller():
+            out["ping"] = client.rpc("server").ping()
+            out["sum"] = client.rpc("server").add(2, 2)
+
+        client.spawn(caller, name="c")
+        cluster.run()
+        assert out == {"ping": "pong", "sum": 4}
+
+    def test_duplicate_registration_rejected(self):
+        cluster = Cluster(seed=0)
+        server = cluster.add_node("server")
+        server.rpc_server.register("m", lambda: 1)
+        with pytest.raises(ReproError):
+            server.rpc_server.register("m", lambda: 2)
+
+
+class TestRunResult:
+    def test_summary_ok(self):
+        cluster = Cluster(seed=0)
+        node = cluster.add_node("n")
+        node.spawn(lambda: None, name="w")
+        result = cluster.run()
+        text = result.summary()
+        assert "OK" in text and "steps=" in text
+
+    def test_summary_failed(self):
+        cluster = Cluster(seed=0)
+        node = cluster.add_node("n")
+        node.spawn(lambda: node.abort("nope"), name="w")
+        result = cluster.run()
+        assert "FAILED" in result.summary()
+        assert "abort" in result.summary()
+
+    def test_failure_log_queries(self):
+        cluster = Cluster(seed=0)
+        node = cluster.add_node("n")
+
+        def noisy():
+            node.log.error("bad thing")
+            node.log.warn("just a warning")
+
+        node.spawn(noisy, name="w")
+        result = cluster.run()
+        assert len(result.failures) == 1
+        assert result.failures.by_kind(FailureKind.ERROR_LOG)
+        assert not result.failures.by_kind(FailureKind.ABORT)
+        assert FailureKind.ERROR_LOG in result.failure_kinds()

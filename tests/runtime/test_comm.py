@@ -1,0 +1,345 @@
+"""Communication primitives: RPC, sockets, event queues, ZK substrate."""
+
+import pytest
+
+from repro.errors import NoNodeError, NodeExistsError, RpcError
+from repro.runtime import Cluster, sleep
+
+
+def test_rpc_roundtrip():
+    cluster = Cluster(seed=0)
+    server = cluster.add_node("server")
+    client = cluster.add_node("client")
+    server.rpc_server.register("add", lambda a, b: a + b)
+    result = {}
+
+    def caller():
+        result["sum"] = client.rpc("server").add(2, 3)
+
+    client.spawn(caller, name="caller")
+    run = cluster.run()
+    assert run.completed
+    assert result["sum"] == 5
+
+
+def test_rpc_remote_exception_propagates():
+    cluster = Cluster(seed=0)
+    server = cluster.add_node("server")
+    client = cluster.add_node("client")
+
+    def failing():
+        raise NoNodeError("/missing")
+
+    server.rpc_server.register("fail", failing)
+    caught = {}
+
+    def caller():
+        try:
+            client.rpc("server").fail()
+        except NoNodeError as exc:
+            caught["exc"] = exc
+
+    client.spawn(caller, name="caller")
+    cluster.run()
+    assert "exc" in caught
+
+
+def test_rpc_unknown_method_raises():
+    cluster = Cluster(seed=0)
+    cluster.add_node("server")
+    client = cluster.add_node("client")
+    caught = {}
+
+    def caller():
+        try:
+            client.rpc("server").nope()
+        except RpcError as exc:
+            caught["exc"] = exc
+
+    client.spawn(caller, name="caller")
+    cluster.run()
+    assert "exc" in caught
+
+
+def test_rpc_to_crashed_node_fails():
+    cluster = Cluster(seed=0)
+    server = cluster.add_node("server")
+    client = cluster.add_node("client")
+    server.rpc_server.register("ping", lambda: "pong")
+    server.crash()
+    caught = {}
+
+    def caller():
+        try:
+            client.rpc("server").ping()
+        except RpcError as exc:
+            caught["exc"] = exc
+
+    client.spawn(caller, name="caller")
+    cluster.run()
+    assert "exc" in caught
+
+
+def test_concurrent_rpc_with_multiple_handler_threads():
+    cluster = Cluster(seed=5)
+    server = cluster.add_node("server", rpc_threads=2)
+    client = cluster.add_node("client")
+    busy = server.shared_var("busy", 0)
+    results = []
+
+    def slow():
+        busy.set(1)
+        sleep(10)
+        busy.set(0)
+        return "slow"
+
+    server.rpc_server.register("slow", slow)
+    server.rpc_server.register("fast", lambda: "fast")
+
+    def c1():
+        results.append(client.rpc("server").slow())
+
+    def c2():
+        results.append(client.rpc("server").fast())
+
+    client.spawn(c1, name="c1")
+    client.spawn(c2, name="c2")
+    run = cluster.run()
+    assert run.completed
+    assert sorted(results) == ["fast", "slow"]
+
+
+def test_socket_message_delivery():
+    cluster = Cluster(seed=0)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    got = []
+    b.on_message("greet", lambda payload, src: got.append((payload, src)))
+
+    def sender():
+        a.send("b", "greet", "hello")
+
+    a.spawn(sender, name="sender")
+    run = cluster.run()
+    assert got == [("hello", "a")]
+
+
+def test_socket_fifo_per_receiver():
+    cluster = Cluster(seed=3)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    got = []
+    b.on_message("num", lambda payload, src: got.append(payload))
+
+    def sender():
+        for i in range(5):
+            a.send("b", "num", i)
+
+    a.spawn(sender, name="sender")
+    cluster.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_event_queue_dispatch_and_fifo():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    q = node.event_queue("main")
+    got = []
+    q.register("tick", lambda e: got.append(e.payload))
+
+    def poster():
+        for i in range(4):
+            q.post("tick", i)
+
+    node.spawn(poster, name="poster")
+    cluster.run()
+    assert got == [0, 1, 2, 3]
+
+
+def test_event_queue_multi_consumer_all_handled():
+    cluster = Cluster(seed=9)
+    node = cluster.add_node("n")
+    q = node.event_queue("pool", consumers=3)
+    got = []
+    q.register("job", lambda e: got.append(e.payload))
+
+    def poster():
+        for i in range(9):
+            q.post("job", i)
+
+    node.spawn(poster, name="poster")
+    cluster.run()
+    assert sorted(got) == list(range(9))
+
+
+def test_event_handler_exception_records_failure():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    q = node.event_queue("main")
+
+    def bad_handler(event):
+        raise RuntimeError("handler blew up")
+
+    q.register("boom", bad_handler)
+    node.spawn(lambda: q.post("boom"), name="poster")
+    result = cluster.run()
+    assert result.harmful
+
+
+def test_lock_mutual_exclusion():
+    cluster = Cluster(seed=11)
+    node = cluster.add_node("n")
+    lock = node.lock("guard")
+    counter = node.shared_counter("c")
+
+    def bump():
+        for _ in range(5):
+            with lock:
+                counter.increment()
+
+    node.spawn(bump, name="a")
+    node.spawn(bump, name="b")
+    cluster.run()
+    assert counter.peek() == 10  # lock makes increments atomic
+
+
+def test_lock_reentrant():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    lock = node.lock("guard")
+    ok = {}
+
+    def worker():
+        with lock:
+            with lock:
+                ok["nested"] = True
+
+    node.spawn(worker, name="w")
+    run = cluster.run()
+    assert ok.get("nested")
+    assert run.completed
+
+
+class TestZooKeeperSubstrate:
+    def _cluster(self):
+        cluster = Cluster(seed=0)
+        cluster.zookeeper()
+        return cluster
+
+    def test_create_get(self):
+        cluster = self._cluster()
+        n = cluster.add_node("app")
+        out = {}
+
+        def work():
+            zk = n.zk()
+            zk.create("/x", data="v1")
+            out["data"] = zk.get_data("/x")
+
+        n.spawn(work, name="w")
+        cluster.run()
+        assert out["data"] == "v1"
+
+    def test_create_duplicate_raises(self):
+        cluster = self._cluster()
+        n = cluster.add_node("app")
+        out = {}
+
+        def work():
+            zk = n.zk()
+            zk.create("/x")
+            try:
+                zk.create("/x")
+            except NodeExistsError:
+                out["dup"] = True
+
+        n.spawn(work, name="w")
+        cluster.run()
+        assert out.get("dup")
+
+    def test_delete_missing_raises(self):
+        cluster = self._cluster()
+        n = cluster.add_node("app")
+        out = {}
+
+        def work():
+            try:
+                n.zk().delete("/nope")
+            except NoNodeError:
+                out["missing"] = True
+
+        n.spawn(work, name="w")
+        cluster.run()
+        assert out.get("missing")
+
+    def test_watch_fires_on_set_data(self):
+        cluster = self._cluster()
+        writer = cluster.add_node("writer")
+        watcher = cluster.add_node("watcher")
+        seen = []
+
+        def watch_side():
+            zk = watcher.zk()
+            zk.create("/status", data="init")
+            zk.watch("/status", lambda ev: seen.append((ev.etype, ev.data)))
+            # Signal the writer that the watch is in place.
+            zk.create("/ready")
+
+        def write_side():
+            zk = writer.zk()
+            while not zk.exists("/ready"):
+                sleep(2)
+            zk.set_data("/status", "opened")
+
+        watcher.spawn(watch_side, name="w")
+        writer.spawn(write_side, name="u")
+        cluster.run()
+        assert ("NodeDataChanged", "opened") in seen
+
+    def test_ephemeral_expiry_fires_delete_watch(self):
+        cluster = self._cluster()
+        owner = cluster.add_node("owner")
+        other = cluster.add_node("other")
+        seen = []
+
+        def owner_side():
+            zk = owner.zk()
+            zk.create("/lease", ephemeral=True)
+            zk.create("/lease-ready")
+
+        def other_side():
+            zk = other.zk()
+            while not zk.exists("/lease-ready"):
+                sleep(2)
+            zk.watch("/lease", lambda ev: seen.append(ev.etype))
+            zk.expire_session("owner")
+            while not seen:
+                sleep(2)
+
+        owner.spawn(owner_side, name="o")
+        other.spawn(other_side, name="x")
+        result = cluster.run()
+        assert result.completed
+        assert "NodeDeleted" in seen
+
+    def test_children_and_child_watch(self):
+        cluster = self._cluster()
+        n = cluster.add_node("app")
+        out = {}
+        seen = []
+
+        def work():
+            zk = n.zk()
+            zk.create("/dir")
+            zk.watch_children("/dir", lambda ev: seen.append(ev.etype))
+            zk.create("/dir/a")
+            zk.create("/dir/b")
+            out["children"] = zk.get_children("/dir")
+            while len(seen) < 2:
+                sleep(2)
+
+        n.spawn(work, name="w")
+        result = cluster.run()
+        assert result.completed
+        assert out["children"] == ["/dir/a", "/dir/b"]
+        assert seen.count("NodeChildrenChanged") >= 2

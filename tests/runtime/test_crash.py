@@ -1,0 +1,77 @@
+"""Node crash semantics."""
+
+from repro.errors import RpcError
+from repro.runtime import Cluster, sleep
+
+
+def test_messages_to_crashed_node_are_dropped():
+    cluster = Cluster(seed=0)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    got = []
+    b.on_message("n", lambda p, s: got.append(p))
+
+    def sender():
+        a.send("b", "n", 1)
+        b.crash()
+        a.send("b", "n", 2)
+
+    a.spawn(sender, name="s")
+    result = cluster.run()
+    assert result.completed
+    assert got == [1]
+    assert b.sockets.dropped == 1
+
+
+def test_rpc_to_crashed_node_raises_immediately():
+    cluster = Cluster(seed=0)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    b.rpc_server.register("ping", lambda: "pong")
+    outcomes = []
+
+    def caller():
+        outcomes.append(a.rpc("b").ping())
+        b.crash()
+        try:
+            a.rpc("b").ping()
+        except RpcError as exc:
+            outcomes.append("refused")
+
+    a.spawn(caller, name="c")
+    result = cluster.run()
+    assert result.completed
+    assert outcomes == ["pong", "refused"]
+
+
+def test_survivors_detect_crash_via_timeout_pattern():
+    """The standard pattern: poll with a retry budget, then give up."""
+    cluster = Cluster(seed=0)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    b.rpc_server.register("health", lambda: "ok")
+    state = {}
+
+    def chaos():
+        sleep(10)
+        b.crash()
+
+    def prober():
+        failures = 0
+        for _ in range(6):
+            try:
+                a.rpc("b").health()
+                failures = 0
+            except RpcError:
+                failures += 1
+                if failures >= 2:
+                    state["declared_dead"] = True
+                    a.log.warn("peer b declared dead")
+                    return
+            sleep(5)
+
+    a.spawn(prober, name="prober")
+    a.spawn(chaos, name="chaos")
+    result = cluster.run()
+    assert result.completed
+    assert state.get("declared_dead")

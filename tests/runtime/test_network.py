@@ -1,0 +1,113 @@
+"""Network fault injection: delays, drops, partitions."""
+
+from repro.runtime import Cluster, FlakyNetwork, ReliableNetwork, sleep
+
+
+def _two_nodes(seed=0, network=None):
+    cluster = Cluster(seed=seed)
+    if network is not None:
+        cluster.set_network(network)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    return cluster, a, b
+
+
+def test_reliable_network_delivers_in_order():
+    cluster, a, b = _two_nodes()
+    got = []
+    b.on_message("n", lambda p, s: got.append(p))
+    a.spawn(lambda: [a.send("b", "n", i) for i in range(5)], name="s")
+    cluster.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_delayed_messages_can_reorder():
+    reordered = False
+    for seed in range(10):
+        cluster, a, b = _two_nodes(
+            seed=seed, network=FlakyNetwork(seed=seed, max_delay=20)
+        )
+        got = []
+        b.on_message("n", lambda p, s: got.append(p))
+
+        def sender():
+            for i in range(6):
+                a.send("b", "n", i)
+
+        a.spawn(sender, name="s")
+        result = cluster.run()
+        assert result.completed
+        assert sorted(got) == list(range(6))  # delayed, never lost
+        if got != sorted(got):
+            reordered = True
+    assert reordered, "delays never reordered deliveries across 10 seeds"
+
+
+def test_dropped_messages_are_counted_and_marked():
+    cluster, a, b = _two_nodes(
+        network=FlakyNetwork(seed=1, drop_probability=1.0)
+    )
+    got = []
+    b.on_message("n", lambda p, s: got.append(p))
+    a.spawn(lambda: a.send("b", "n", 1), name="s")
+    result = cluster.run()
+    assert result.completed
+    assert got == []
+    assert b.sockets.dropped == 1
+
+
+def test_partition_blocks_both_directions():
+    network = FlakyNetwork(seed=0)
+    network.partition(["a"], ["b"])
+    cluster, a, b = _two_nodes(network=network)
+    got = []
+    a.on_message("n", lambda p, s: got.append(("a", p)))
+    b.on_message("n", lambda p, s: got.append(("b", p)))
+    a.spawn(lambda: a.send("b", "n", 1), name="sa")
+    b.spawn(lambda: b.send("a", "n", 2), name="sb")
+    cluster.run()
+    assert got == []
+
+
+def test_heal_restores_connectivity():
+    network = FlakyNetwork(seed=0)
+    network.partition(["a"], ["b"])
+    network.heal()
+    cluster, a, b = _two_nodes(network=network)
+    got = []
+    b.on_message("n", lambda p, s: got.append(p))
+    a.spawn(lambda: a.send("b", "n", 7), name="s")
+    cluster.run()
+    assert got == [7]
+
+
+def test_delayed_delivery_does_not_deadlock_idle_system():
+    """A pending delayed message must advance the clock, not deadlock."""
+    cluster, a, b = _two_nodes(network=FlakyNetwork(seed=0, max_delay=50))
+    got = []
+    b.on_message("n", lambda p, s: got.append(p))
+
+    def sender():
+        a.send("b", "n", 1)
+        # Sender finishes immediately; only the delayed delivery remains.
+
+    a.spawn(sender, name="s")
+    result = cluster.run()
+    assert result.completed
+    assert got == [1]
+
+
+def test_dcbug_detection_with_flaky_network():
+    """Detection still works when gossip is delayed (failure injection)."""
+    from repro.detect import detect_races
+    from repro.systems import workload_by_id
+    from repro.trace import FullScope, Tracer
+
+    workload = workload_by_id("CA-1011")
+    cluster = workload.cluster(0, churn=False)
+    cluster.set_network(FlakyNetwork(seed=3, max_delay=5))
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    result = cluster.run()
+    assert result.completed
+    detection = detect_races(tracer.trace)
+    assert any("tokens" in c.variable for c in detection.candidates)

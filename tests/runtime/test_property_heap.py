@@ -1,0 +1,126 @@
+"""Property-based tests: shared heap objects behave like their models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import Cluster
+
+KEYS = st.sampled_from(["a", "b", "c", "d"])
+VALUES = st.integers(min_value=-5, max_value=5)
+
+DICT_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, VALUES),
+        st.tuples(st.just("remove"), KEYS, st.none()),
+        st.tuples(st.just("get"), KEYS, st.none()),
+        st.tuples(st.just("clear"), st.none(), st.none()),
+    ),
+    max_size=30,
+)
+
+
+def _run_in_thread(body):
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    out = {}
+
+    def main():
+        out["result"] = body(node)
+
+    node.spawn(main, name="main")
+    run = cluster.run()
+    assert not run.harmful, [str(f) for f in run.failures]
+    return out["result"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=DICT_OPS)
+def test_shared_dict_matches_model(ops):
+    def body(node):
+        shared = node.shared_dict("d")
+        model = {}
+        observations = []
+        for op, key, value in ops:
+            if op == "put":
+                shared.put(key, value)
+                model[key] = value
+            elif op == "remove":
+                observations.append((shared.remove(key), model.pop(key, None)))
+            elif op == "get":
+                observations.append((shared.get(key), model.get(key)))
+            elif op == "clear":
+                shared.clear()
+                model.clear()
+            observations.append((shared.size(), len(model)))
+            observations.append((shared.is_empty(), not model))
+            observations.append((sorted(shared.keys(), key=repr), sorted(model, key=repr)))
+        return observations
+
+    for actual, expected in _run_in_thread(body):
+        assert actual == expected
+
+
+LIST_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), VALUES),
+        st.tuples(st.just("remove"), VALUES),
+        st.tuples(st.just("pop_first"), st.none()),
+    ),
+    max_size=25,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=LIST_OPS)
+def test_shared_list_matches_model(ops):
+    def body(node):
+        shared = node.shared_list("l")
+        model = []
+        observations = []
+        for op, value in ops:
+            if op == "append":
+                shared.append(value)
+                model.append(value)
+            elif op == "remove":
+                removed = shared.remove(value)
+                expected = value in model
+                if expected:
+                    model.remove(value)
+                observations.append((removed, expected))
+            elif op == "pop_first":
+                observations.append(
+                    (shared.pop_first(), model.pop(0) if model else None)
+                )
+            observations.append((shared.snapshot(), list(model)))
+        return observations
+
+    for actual, expected in _run_in_thread(body):
+        assert actual == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    increments=st.lists(st.integers(min_value=-3, max_value=7), max_size=20)
+)
+def test_shared_counter_matches_sum(increments):
+    def body(node):
+        counter = node.shared_counter("c", initial=0)
+        for delta in increments:
+            counter.increment(delta)
+        return counter.get()
+
+    assert _run_in_thread(body) == sum(increments)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=15)
+)
+def test_shared_var_last_write_wins(values):
+    def body(node):
+        var = node.shared_var("v")
+        for value in values:
+            var.set(value)
+        return var.get()
+
+    assert _run_in_thread(body) == values[-1]

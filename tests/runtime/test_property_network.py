@@ -1,0 +1,79 @@
+"""Property-based tests for the network fault policies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.network import Delivery, FlakyNetwork, ReliableNetwork
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    max_delay=st.integers(0, 50),
+    drop=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_flaky_network_is_deterministic_per_seed(seed, max_delay, drop):
+    def plans(policy):
+        return [
+            (d.deliver, d.delay)
+            for d in (
+                policy.plan("a", "b", "x"),
+                policy.plan("b", "a", "y"),
+                policy.plan("a", "c", "x"),
+            )
+        ]
+
+    first = plans(FlakyNetwork(seed=seed, max_delay=max_delay, drop_probability=drop))
+    second = plans(FlakyNetwork(seed=seed, max_delay=max_delay, drop_probability=drop))
+    assert first == second
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100), max_delay=st.integers(0, 30))
+def test_delays_bounded(seed, max_delay):
+    policy = FlakyNetwork(seed=seed, max_delay=max_delay)
+    for _ in range(20):
+        delivery = policy.plan("a", "b", "v")
+        assert delivery.deliver
+        assert 0 <= delivery.delay <= max_delay
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    group_a=st.sets(st.sampled_from(["a", "b", "c"]), min_size=1),
+    group_b=st.sets(st.sampled_from(["x", "y"]), min_size=1),
+)
+def test_partitions_are_symmetric(group_a, group_b):
+    policy = FlakyNetwork(seed=0)
+    policy.partition(group_a, group_b)
+    for a in group_a:
+        for b in group_b:
+            assert policy.is_partitioned(a, b)
+            assert policy.is_partitioned(b, a)
+            assert not policy.plan(a, b, "v").deliver
+            assert not policy.plan(b, a, "v").deliver
+    policy.heal()
+    for a in group_a:
+        for b in group_b:
+            assert policy.plan(a, b, "v").deliver
+
+
+def test_protected_verbs_never_dropped():
+    policy = FlakyNetwork(seed=0, drop_probability=1.0)
+    for _ in range(10):
+        assert policy.plan("a", "b", "zk-notify").deliver
+        assert not policy.plan("a", "b", "anything-else").deliver
+
+
+def test_drop_probability_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        FlakyNetwork(drop_probability=1.5)
+
+
+def test_reliable_network_never_interferes():
+    policy = ReliableNetwork()
+    for _ in range(5):
+        delivery = policy.plan("a", "b", "v")
+        assert delivery == Delivery(deliver=True, delay=0)

@@ -1,0 +1,60 @@
+"""Property-based tests: record/replay over random workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import Cluster, RandomStrategy, sleep
+from repro.runtime.replay import RecordingStrategy, ReplayStrategy
+
+ACTIONS = st.sampled_from(["set", "get", "bump", "sleep", "post"])
+SCRIPTS = st.lists(
+    st.lists(ACTIONS, min_size=1, max_size=5), min_size=1, max_size=3
+)
+
+
+def _build(cluster, scripts, observations):
+    node = cluster.add_node("n")
+    var = node.shared_var("v", 0)
+    counter = node.shared_counter("c")
+    q = node.event_queue("q")
+    q.register("e", lambda ev: observations.append(("evt", counter.get())))
+
+    def make(tag, script):
+        def body():
+            for action in script:
+                if action == "set":
+                    var.set(tag)
+                elif action == "get":
+                    observations.append((tag, var.get()))
+                elif action == "bump":
+                    counter.increment()
+                elif action == "sleep":
+                    sleep(2)
+                elif action == "post":
+                    q.post("e")
+
+        return body
+
+    for i, script in enumerate(scripts):
+        node.spawn(make(i, script), name=f"w{i}")
+
+
+@settings(max_examples=25, deadline=None)
+@given(scripts=SCRIPTS, seed=st.integers(0, 9))
+def test_replay_reproduces_observations(scripts, seed):
+    recorder = RecordingStrategy(RandomStrategy(seed))
+    original = Cluster(seed=seed, strategy=recorder, max_steps=20_000)
+    first = []
+    _build(original, scripts, first)
+    r1 = original.run()
+    assert not r1.harmful
+
+    replayed = Cluster(
+        seed=0, strategy=ReplayStrategy(recorder.schedule), max_steps=20_000
+    )
+    second = []
+    _build(replayed, scripts, second)
+    r2 = replayed.run()
+    assert not r2.harmful
+    assert first == second
+    assert r1.steps == r2.steps

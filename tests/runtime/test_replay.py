@@ -1,0 +1,79 @@
+"""Schedule recording and exact replay."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime import Cluster, RandomStrategy
+from repro.runtime.replay import RecordingStrategy, ReplayStrategy
+
+
+def _build(cluster):
+    node = cluster.add_node("n")
+    var = node.shared_var("x", 0)
+    order = []
+
+    def worker(tag):
+        def body():
+            for _ in range(3):
+                var.set(tag)
+                order.append(tag)
+
+        return body
+
+    node.spawn(worker("a"), name="a")
+    node.spawn(worker("b"), name="b")
+    return order
+
+
+def test_record_then_replay_reproduces_interleaving():
+    recorder = RecordingStrategy(RandomStrategy(9))
+    original = Cluster(seed=9, strategy=recorder)
+    order_a = _build(original)
+    original.run()
+    assert recorder.schedule
+
+    replayed = Cluster(seed=0, strategy=ReplayStrategy(recorder.schedule))
+    order_b = _build(replayed)
+    result = replayed.run()
+    assert result.completed
+    assert order_a == order_b
+
+
+@pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+def test_replay_divergence_is_detected():
+    recorder = RecordingStrategy(RandomStrategy(3))
+    original = Cluster(seed=3, strategy=recorder)
+    _build(original)
+    original.run()
+
+    # Replay against a different workload: thread names don't match.
+    replayed = Cluster(seed=0, strategy=ReplayStrategy(recorder.schedule))
+    node = replayed.add_node("m")
+    node.spawn(lambda: None, name="other")
+    with pytest.raises(ReproError, match="diverged"):
+        replayed.run()
+
+
+def test_replay_exhaustion_needs_fallback():
+    strategy = ReplayStrategy(["n.a"])  # far too short
+    cluster = Cluster(seed=0, strategy=strategy)
+    _build(cluster)
+    with pytest.raises(ReproError, match="exhausted"):
+        cluster.run()
+
+
+def test_replay_exhaustion_with_fallback_continues():
+    recorder = RecordingStrategy(RandomStrategy(5))
+    original = Cluster(seed=5, strategy=recorder)
+    _build(original)
+    original.run()
+
+    half = recorder.schedule[: len(recorder.schedule) // 2]
+    strategy = ReplayStrategy(half, fallback=RandomStrategy(5))
+    cluster = Cluster(seed=0, strategy=strategy)
+    _build(cluster)
+    result = cluster.run()
+    assert result.completed
+    assert not result.failures

@@ -1,0 +1,198 @@
+"""Scheduler fundamentals: determinism, blocking, failure plumbing."""
+
+import pytest
+
+from repro.errors import SimAbort
+from repro.runtime import Cluster, FailureKind, sleep
+
+
+def test_single_thread_runs_to_completion():
+    cluster = Cluster(seed=1)
+    node = cluster.add_node("n1")
+    log = []
+
+    def work():
+        log.append("ran")
+
+    node.spawn(work, name="worker")
+    result = cluster.run()
+    assert log == ["ran"]
+    assert result.completed
+    assert not result.harmful
+
+
+def test_two_threads_interleave_shared_counter():
+    cluster = Cluster(seed=7)
+    node = cluster.add_node("n1")
+    counter = node.shared_counter("c")
+
+    def bump():
+        for _ in range(5):
+            counter.increment()
+
+    node.spawn(bump, name="a")
+    node.spawn(bump, name="b")
+    result = cluster.run()
+    assert result.completed
+    # Unsynchronized increments may lose updates but never exceed 10.
+    assert 2 <= counter.peek() <= 10
+
+
+def test_determinism_same_seed_same_schedule():
+    def build_and_run(seed):
+        cluster = Cluster(seed=seed)
+        node = cluster.add_node("n1")
+        order = []
+
+        def worker(tag):
+            def body():
+                for _ in range(3):
+                    order.append(tag)
+                    node.shared_var(f"v{tag}").set(tag)
+
+            return body
+
+        node.spawn(worker("a"), name="a")
+        node.spawn(worker("b"), name="b")
+        cluster.run()
+        return order
+
+    assert build_and_run(42) == build_and_run(42)
+
+
+def test_different_seeds_can_differ():
+    schedules = set()
+    for seed in range(8):
+        cluster = Cluster(seed=seed)
+        node = cluster.add_node("n1")
+        order = []
+
+        def make(tag, var):
+            def body():
+                for _ in range(4):
+                    order.append(tag)
+                    var.set(tag)
+
+            return body
+
+        va = node.shared_var("va")
+        vb = node.shared_var("vb")
+        node.spawn(make("a", va), name="a")
+        node.spawn(make("b", vb), name="b")
+        cluster.run()
+        schedules.add(tuple(order))
+    assert len(schedules) > 1
+
+
+def test_sleep_advances_logical_clock():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n1")
+    seen = {}
+
+    def sleeper():
+        sleep(50)
+        seen["clock"] = cluster.scheduler.clock
+
+    node.spawn(sleeper, name="s")
+    cluster.run()
+    assert seen["clock"] >= 50
+
+
+def test_abort_records_failure_event():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n1")
+
+    def bad():
+        node.abort("fatal condition")
+
+    node.spawn(bad, name="bad")
+    result = cluster.run()
+    assert FailureKind.ABORT in result.failure_kinds()
+
+
+def test_uncaught_exception_records_failure():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n1")
+
+    def bad():
+        raise ValueError("boom")
+
+    node.spawn(bad, name="bad")
+    result = cluster.run()
+    assert FailureKind.UNCAUGHT in result.failure_kinds()
+
+
+def test_hang_detection_via_step_budget():
+    cluster = Cluster(seed=0, max_steps=500)
+    node = cluster.add_node("n1")
+    flag = node.shared_var("flag", False)
+
+    def spinner():
+        while not flag.get():
+            pass  # each .get() is a scheduling point
+
+    node.spawn(spinner, name="spin")
+    result = cluster.run()
+    assert not result.completed
+    assert FailureKind.HANG in result.failure_kinds()
+
+
+def test_deadlock_detection_two_locks():
+    cluster = Cluster(seed=3)
+    node = cluster.add_node("n1")
+    l1, l2 = node.lock("l1"), node.lock("l2")
+    gate = node.shared_var("gate", 0)
+
+    def t1():
+        with l1:
+            gate.set(1)
+            while gate.get() < 2:
+                if gate.get() == 2:
+                    break
+                # Wait until t2 holds l2 so the deadlock is certain.
+                if gate.peek() == 2:
+                    break
+                sleep(1)
+            with l2:
+                pass
+
+    def t2():
+        with l2:
+            while gate.get() < 1:
+                sleep(1)
+            gate.set(2)
+            with l1:
+                pass
+
+    node.spawn(t1, name="t1")
+    node.spawn(t2, name="t2")
+    result = cluster.run()
+    assert FailureKind.DEADLOCK in result.failure_kinds()
+
+
+def test_thread_join():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n1")
+    log = []
+
+    def child():
+        log.append("child")
+
+    def parent():
+        t = node.spawn(child, name="child")
+        node.join(t)
+        log.append("parent-after-join")
+
+    node.spawn(parent, name="parent")
+    result = cluster.run()
+    assert log == ["child", "parent-after-join"]
+    assert result.completed
+
+
+def test_cluster_cannot_run_twice():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n1")
+    node.spawn(lambda: None, name="noop")
+    cluster.run()
+    with pytest.raises(Exception):
+        cluster.run()

@@ -1,0 +1,121 @@
+"""Condition variables and semaphores."""
+
+import pytest
+
+from repro.runtime import Cluster, SimCondition, SimSemaphore, sleep
+from repro.runtime.locks import SimLock
+
+
+def test_condition_wait_notify():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    lock = node.lock("m")
+    cond = SimCondition(lock)
+    state = {"ready": False}
+    log = []
+
+    def consumer():
+        with lock:
+            cond.wait_for(lambda: state["ready"])
+            log.append("consumed")
+
+    def producer():
+        sleep(10)
+        with lock:
+            state["ready"] = True
+            cond.notify_all()
+        log.append("produced")
+
+    node.spawn(consumer, name="c")
+    node.spawn(producer, name="p")
+    result = cluster.run()
+    assert result.completed
+    assert "consumed" in log and "produced" in log
+
+
+def test_condition_wait_requires_lock():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    lock = node.lock("m")
+    cond = SimCondition(lock)
+
+    def bad():
+        cond.wait()
+
+    node.spawn(bad, name="bad")
+    result = cluster.run()
+    assert result.harmful  # SchedulerError surfaces as uncaught
+
+
+def test_condition_notify_wakes_all_waiters():
+    cluster = Cluster(seed=2)
+    node = cluster.add_node("n")
+    lock = node.lock("m")
+    cond = SimCondition(lock)
+    state = {"go": False}
+    woken = []
+
+    def waiter(tag):
+        def body():
+            with lock:
+                cond.wait_for(lambda: state["go"])
+                woken.append(tag)
+
+        return body
+
+    for tag in ("w1", "w2", "w3"):
+        node.spawn(waiter(tag), name=tag)
+
+    def notifier():
+        sleep(15)
+        with lock:
+            state["go"] = True
+            cond.notify_all()
+
+    node.spawn(notifier, name="notify")
+    result = cluster.run()
+    assert result.completed
+    assert sorted(woken) == ["w1", "w2", "w3"]
+
+
+def test_semaphore_bounds_concurrency():
+    cluster = Cluster(seed=5)
+    node = cluster.add_node("n")
+    sem = SimSemaphore(cluster, "pool", permits=2)
+    active = node.shared_counter("active")
+    peak = {"value": 0}
+
+    def worker():
+        with sem:
+            count = active.increment()
+            peak["value"] = max(peak["value"], count)
+            sleep(5)
+            active.increment(-1)
+
+    for i in range(5):
+        node.spawn(worker, name=f"w{i}")
+    result = cluster.run()
+    assert result.completed
+    assert peak["value"] <= 2
+
+
+def test_semaphore_zero_permits_blocks_until_release():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    sem = SimSemaphore(cluster, "gate", permits=0)
+    log = []
+
+    def waiter():
+        sem.acquire()
+        log.append("entered")
+
+    def releaser():
+        sleep(10)
+        log.append("releasing")
+        sem.release()
+
+    node.spawn(waiter, name="w")
+    node.spawn(releaser, name="r")
+    result = cluster.run()
+    assert result.completed
+    assert log == ["releasing", "entered"]

@@ -1,0 +1,134 @@
+"""Coordination-service substrate edge cases."""
+
+from repro.runtime import Cluster, sleep
+
+
+def _cluster():
+    cluster = Cluster(seed=0)
+    cluster.zookeeper()
+    return cluster
+
+
+def test_one_shot_watch_fires_once():
+    cluster = _cluster()
+    n = cluster.add_node("app")
+    events = []
+
+    def work():
+        zk = n.zk()
+        zk.create("/x", data=0)
+        zk.watch("/x", lambda ev: events.append(ev.etype), persistent=False)
+        zk.set_data("/x", 1)
+        zk.set_data("/x", 2)
+        while not events:
+            sleep(2)
+        sleep(30)  # give a (wrong) second notification time to arrive
+
+    n.spawn(work, name="w")
+    result = cluster.run()
+    assert result.completed
+    assert events == ["NodeDataChanged"]
+
+
+def test_persistent_watch_fires_repeatedly():
+    cluster = _cluster()
+    n = cluster.add_node("app")
+    events = []
+
+    def work():
+        zk = n.zk()
+        zk.create("/x", data=0)
+        zk.watch("/x", lambda ev: events.append(ev.zxid), persistent=True)
+        zk.set_data("/x", 1)
+        zk.set_data("/x", 2)
+        while len(events) < 2:
+            sleep(2)
+
+    n.spawn(work, name="w")
+    result = cluster.run()
+    assert result.completed
+    assert len(events) == 2
+    assert events[0] < events[1]  # zxids are monotonic
+
+
+def test_makepath_creates_ancestors():
+    cluster = _cluster()
+    n = cluster.add_node("app")
+    out = {}
+
+    def work():
+        zk = n.zk()
+        zk.create("/a/b/c", data="deep")
+        out["parent"] = zk.exists("/a/b")
+        out["grandparent"] = zk.exists("/a")
+        out["children"] = zk.get_children("/a/b")
+
+    n.spawn(work, name="w")
+    cluster.run()
+    assert out["parent"] and out["grandparent"]
+    assert out["children"] == ["/a/b/c"]
+
+
+def test_expiry_only_removes_owned_ephemerals():
+    cluster = _cluster()
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    out = {}
+
+    def setup_a():
+        zk = a.zk()
+        zk.create("/locks/a", ephemeral=True)
+        zk.create("/a-ready")
+
+    def setup_b():
+        zk = b.zk()
+        while not zk.exists("/a-ready"):
+            sleep(2)
+        zk.create("/locks/b", ephemeral=True)
+        zk.create("/durable")
+        doomed = zk.expire_session("a")
+        out["doomed"] = doomed
+        out["b_alive"] = zk.exists("/locks/b")
+        out["durable"] = zk.exists("/durable")
+        out["a_gone"] = not zk.exists("/locks/a")
+
+    a.spawn(setup_a, name="a")
+    b.spawn(setup_b, name="b")
+    result = cluster.run()
+    assert result.completed
+    assert out["doomed"] == ["/locks/a"]
+    assert out["b_alive"] and out["durable"] and out["a_gone"]
+
+
+def test_znode_accesses_are_memory_accesses():
+    """Paper §7.2: znode delete/read pairs are race candidates."""
+    from repro.detect import detect_races
+    from repro.trace import FullScope, Tracer
+
+    cluster = _cluster()
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+
+    def setup_then_delete():
+        zk = a.zk()
+        zk.create("/contested")
+        sleep(30)
+        zk.delete("/contested")
+
+    def other_delete():
+        zk = b.zk()
+        sleep(10)
+        try:
+            zk.delete("/contested")
+        except Exception:
+            pass
+
+    a.spawn(setup_then_delete, name="a")
+    b.spawn(other_delete, name="b")
+    cluster.run()
+    detection = detect_races(tracer.trace)
+    znode_pairs = [
+        c for c in detection.candidates if c.location[1] == "/contested"
+    ]
+    assert znode_pairs, "delete/delete on one znode must be a candidate"

@@ -1,0 +1,34 @@
+"""Beyond-benchmark workloads (paper §7.2's extra findings)."""
+
+import pytest
+
+from repro.detect import Verdict
+from repro.pipeline import DCatch
+from repro.systems import extra_workloads
+from repro.systems.extra import MR4637MTWorkload
+
+
+def test_extra_registry():
+    extras = extra_workloads()
+    assert extras
+    benchmark_ids = {w.info.bug_id for w in extras}
+    assert "MR-4637-MT" in benchmark_ids
+
+
+def test_mt_monitored_runs_correct():
+    workload = MR4637MTWorkload()
+    for seed in range(4):
+        result = workload.cluster(seed, churn=False).run()
+        assert not result.harmful, f"seed {seed}"
+
+
+@pytest.mark.slow
+def test_mt_lost_update_confirmed_harmful():
+    """The multi-threaded AM loses a done-count increment: a harmful
+    DCbug beyond the seven benchmarks, like the paper's extra findings."""
+    result = DCatch(MR4637MTWorkload()).run()
+    harmful = [o for o in result.outcomes if o.verdict is Verdict.HARMFUL]
+    assert harmful
+    assert any(
+        "done_count" in o.report.representative.variable for o in harmful
+    )

@@ -1,0 +1,80 @@
+"""The JobHistory server."""
+
+from repro.runtime import Cluster, sleep
+from repro.systems.minimr.history_server import HistoryReporter, HistoryServer
+
+
+def test_timeline_records_in_order():
+    cluster = Cluster(seed=0)
+    jhs = HistoryServer(cluster)
+    am = cluster.add_node("am")
+    reporter = HistoryReporter(am)
+
+    def lifecycle():
+        reporter.report("job-9", "SUBMITTED")
+        reporter.report("job-9", "LAUNCHED", "2 tasks")
+        sleep(5)
+        reporter.report("job-9", "FINISHED")
+
+    am.spawn(lifecycle, name="lifecycle")
+    result = cluster.run()
+    assert result.completed and not result.harmful
+    timeline = jhs.timelines.peek("job-9")
+    assert [e["kind"] for e in timeline] == ["SUBMITTED", "LAUNCHED", "FINISHED"]
+    assert [e["n"] for e in timeline] == [0, 1, 2]
+
+
+def test_summary_and_queries():
+    cluster = Cluster(seed=0)
+    jhs = HistoryServer(cluster)
+    am = cluster.add_node("am")
+    client = cluster.add_node("client")
+    reporter = HistoryReporter(am)
+    out = {}
+
+    def lifecycle():
+        reporter.report("job-1", "SUBMITTED")
+        reporter.report("job-1", "LAUNCHED")
+        reporter.report("job-1", "KILLED", "user request")
+
+    def query():
+        sleep(40)
+        out["summary"] = client.rpc("jhs").job_summary("job-1")
+        out["missing"] = client.rpc("jhs").job_summary("nope")
+        out["timeline"] = client.rpc("jhs").job_timeline("job-1")
+
+    am.spawn(lifecycle, name="lifecycle")
+    client.spawn(query, name="query")
+    result = cluster.run()
+    assert result.completed
+    assert out["summary"] == {
+        "events": 3,
+        "launched": True,
+        "finished": True,
+        "outcome": "KILLED",
+    }
+    assert out["missing"] is None
+    assert len(out["timeline"]) == 3
+
+
+def test_concurrent_reporters_from_two_jobs():
+    cluster = Cluster(seed=4)
+    jhs = HistoryServer(cluster)
+    am1 = cluster.add_node("am1")
+    am2 = cluster.add_node("am2")
+
+    def make(node, job):
+        reporter = HistoryReporter(node)
+
+        def lifecycle():
+            reporter.report(job, "SUBMITTED")
+            reporter.report(job, "FINISHED")
+
+        return lifecycle
+
+    am1.spawn(make(am1, "job-a"), name="a")
+    am2.spawn(make(am2, "job-b"), name="b")
+    result = cluster.run()
+    assert result.completed and not result.harmful
+    assert len(jhs.timelines.peek("job-a")) == 2
+    assert len(jhs.timelines.peek("job-b")) == 2

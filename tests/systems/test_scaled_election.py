@@ -1,0 +1,43 @@
+"""The election system scales beyond the benchmark configuration."""
+
+from repro.detect import ReportSet, detect_races
+from repro.runtime import Cluster
+from repro.systems.minizk.election import ElectionNode, VoterNode
+from repro.trace import FullScope, Tracer
+
+
+def _three_node_cluster(seed=0):
+    cluster = Cluster(seed=seed, max_steps=30_000)
+    ElectionNode(
+        cluster, "zk1", peers=("zk2", "zk3"), quorum=3, round_timeout=3
+    )
+    VoterNode(cluster, "zk2", think_ticks=10)
+    VoterNode(cluster, "zk3", think_ticks=18)
+    return cluster
+
+
+def test_three_node_election_converges():
+    for seed in range(4):
+        result = _three_node_cluster(seed).run()
+        assert result.completed, f"seed {seed}"
+        assert not result.harmful, f"seed {seed}"
+
+
+def test_three_node_election_race_detected():
+    cluster = _three_node_cluster()
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    cluster.run()
+    detection = detect_races(tracer.trace)
+    clear_races = [
+        c
+        for c in detection.candidates
+        if "votes" in c.variable
+        and any(
+            a.site and "run_election" in a.site.func for a in c.accesses()
+        )
+        and any(a.site and "on_vote" in a.site.func for a in c.accesses())
+    ]
+    assert clear_races, "the round-bump clear race must appear at scale"
+    # Two voters means both notification handlers race with the clear.
+    reports = ReportSet.from_detection(detection)
+    assert len(reports) >= 2

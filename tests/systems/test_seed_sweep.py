@@ -1,0 +1,26 @@
+"""Seed sweep: monitored runs stay correct across many schedules.
+
+The paper's methodology depends on DCbugs being *rare* under normal
+scheduling (failures "rarely occur under these workloads") — otherwise
+there would be no correct run to monitor.  This sweep checks that the
+seeded bugs hide properly across a range of scheduler seeds.
+"""
+
+import pytest
+
+from repro.systems import all_workloads, extra_workloads
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "workload",
+    all_workloads() + extra_workloads(),
+    ids=lambda w: w.info.bug_id,
+)
+def test_monitored_runs_correct_across_ten_seeds(workload):
+    for seed in range(10):
+        result = workload.cluster(seed, churn=False).run()
+        assert not result.harmful, (
+            f"{workload.info.bug_id} seed {seed}: "
+            f"{[str(f) for f in result.failures]}"
+        )

@@ -1,0 +1,107 @@
+"""The seven benchmark workloads: correctness of monitored runs and
+presence of the seeded racing accesses."""
+
+import pytest
+
+from repro.detect import detect_races
+from repro.systems import WORKLOAD_CLASSES, all_workloads, workload_by_id
+from repro.trace import FullScope, Tracer
+
+
+@pytest.fixture(scope="module")
+def traced_runs():
+    """One traced monitored run per workload (full scope, churn off for
+    speed — the races live in the communication paths)."""
+    runs = {}
+    for workload in all_workloads():
+        cluster = workload.cluster(None, churn=False)
+        tracer = Tracer(scope=FullScope()).bind(cluster)
+        result = cluster.run()
+        runs[workload.info.bug_id] = (workload, result, tracer.trace)
+    return runs
+
+
+def test_registry_has_seven_benchmarks():
+    assert len(WORKLOAD_CLASSES) == 7
+    ids = [cls.info.bug_id for cls in WORKLOAD_CLASSES]
+    assert ids == sorted(ids)  # Table 3 order
+    assert len(set(ids)) == 7
+
+
+def test_workload_by_id_roundtrip():
+    for cls in WORKLOAD_CLASSES:
+        assert type(workload_by_id(cls.info.bug_id)) is cls
+    with pytest.raises(KeyError):
+        workload_by_id("XX-0000")
+
+
+def test_monitored_runs_are_correct(traced_runs):
+    """DCatch monitors *correct* executions (paper Section 7.1)."""
+    for bug_id, (workload, result, trace) in traced_runs.items():
+        assert result.completed, f"{bug_id} did not complete"
+        assert not result.harmful, (
+            f"{bug_id} monitored run failed: {[str(f) for f in result.failures]}"
+        )
+
+
+def test_monitored_runs_correct_across_seeds():
+    for workload in all_workloads():
+        for seed in (1, 2, 3):
+            result = workload.cluster(seed, churn=False).run()
+            assert not result.harmful, (
+                f"{workload.info.bug_id} seed {seed}: "
+                f"{[str(f) for f in result.failures]}"
+            )
+
+
+EXPECTED_RACE_VARIABLE = {
+    "CA-1011": "ca1.tokens",
+    "HB-4539": "master.regions_in_transition",
+    "HB-4729": "master.unassigned_cache",
+    "MR-3274": "am.tasks",
+    "MR-4637": "am.jobs",
+    "ZK-1144": "zk2.accepted_epoch",
+    "ZK-1270": "zk1.votes",
+}
+
+
+def test_root_cause_pair_is_detected(traced_runs):
+    """The racing variable of each Table 3 bug appears as a candidate."""
+    for bug_id, (workload, result, trace) in traced_runs.items():
+        detection = detect_races(trace)
+        variables = {c.variable for c in detection.candidates}
+        expected = EXPECTED_RACE_VARIABLE[bug_id]
+        assert expected in variables, (
+            f"{bug_id}: no candidate on {expected}; got {sorted(variables)}"
+        )
+
+
+def test_loc_is_meaningful():
+    for workload in all_workloads():
+        assert workload.lines_of_code() > 50
+
+
+def test_factory_builds_fresh_clusters():
+    workload = workload_by_id("ZK-1144")
+    factory = workload.factory()
+    c1, c2 = factory(0), factory(0)
+    assert c1 is not c2
+    r1, r2 = c1.run(), c2.run()
+    assert r1.steps == r2.steps  # determinism across fresh builds
+
+
+def test_churn_adds_trace_bulk_not_candidates():
+    workload = workload_by_id("CA-1011")
+    with_churn = workload.cluster(None, churn=True)
+    t1 = Tracer(scope=FullScope()).bind(with_churn)
+    with_churn.run()
+    without = workload.cluster(None, churn=False)
+    t2 = Tracer(scope=FullScope()).bind(without)
+    without.run()
+    assert len(t1.trace) > 5 * len(t2.trace)
+    churn_candidates = [
+        c
+        for c in detect_races(t1.trace).candidates
+        if "housekeeping" in c.variable
+    ]
+    assert not churn_candidates

@@ -1,0 +1,68 @@
+"""The dcatch command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "MR-3274" in out
+    assert "ZooKeeper" in out
+
+
+def test_table_command_table3(capsys):
+    assert main(["table", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Benchmark bugs" in out
+
+
+def test_table_command_unknown(capsys):
+    assert main(["table", "tableX"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown table" in out
+
+
+def test_run_command_no_trigger(capsys):
+    assert main(["run", "ZK-1144", "--no-trigger"]) == 0
+    out = capsys.readouterr().out
+    assert "DCatch on ZK-1144" in out
+    assert "DCatch reports" in out
+
+
+def test_trace_command(tmp_path, capsys):
+    out_dir = tmp_path / "trace"
+    assert main(["trace", "ZK-1270", "--out", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "saved" in out
+    files = list(out_dir.glob("thread-*.jsonl"))
+    assert files
+
+    from repro.trace import Trace
+
+    restored = Trace.load(str(out_dir))
+    assert len(restored) > 0
+
+
+def test_explain_command(capsys):
+    assert main(
+        ["explain", "ZK-1144", "--variable", "accepted_epoch", "--limit", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "CONCURRENT" in out or "=>" in out
+
+
+def test_explain_unknown_variable(capsys):
+    assert main(["explain", "ZK-1144", "--variable", "nope_xyz"]) == 1
+
+
+def test_list_includes_extras(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    assert "MR-SPEC" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

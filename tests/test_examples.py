@@ -1,0 +1,51 @@
+"""The bundled examples run end to end (their asserts are the test)."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run_example(name):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.slow
+def test_quickstart():
+    _run_example("quickstart.py")
+
+
+@pytest.mark.slow
+def test_hbase_region_race():
+    _run_example("hbase_region_race.py")
+
+
+@pytest.mark.slow
+def test_zookeeper_election_race():
+    _run_example("zookeeper_election_race.py")
+
+
+@pytest.mark.slow
+def test_custom_system():
+    _run_example("custom_system.py")
+
+
+@pytest.mark.slow
+def test_fault_injection():
+    _run_example("fault_injection.py")
+
+
+@pytest.mark.slow
+def test_wordcount_pipeline():
+    _run_example("wordcount_pipeline.py")

@@ -1,0 +1,67 @@
+"""Identifiers, call stacks, and deterministic id allocation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ids import CallStack, Frame, IdAllocator, Site, capture_stack
+
+
+def test_id_allocator_monotonic_per_category():
+    ids = IdAllocator()
+    assert ids.next("rpc") == 1
+    assert ids.next("rpc") == 2
+    assert ids.next("msg") == 1  # independent category
+    assert ids.tag("rpc") == "rpc-3"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    categories=st.lists(
+        st.sampled_from(["a", "b", "c"]), min_size=1, max_size=40
+    )
+)
+def test_id_allocator_unique_tags(categories):
+    ids = IdAllocator()
+    tags = [ids.tag(c) for c in categories]
+    assert len(set(tags)) == len(tags)
+
+
+def test_frame_and_site_rendering():
+    frame = Frame("repro/systems/x/a.py", "handler", 42)
+    assert str(frame) == "repro/systems/x/a.py:42(handler)"
+    site = Site.of_frame(frame)
+    assert str(site) == "repro/systems/x/a.py:42"
+    assert site.func == "handler"
+
+
+def test_callstack_top_and_site():
+    inner = Frame("repro/systems/x/a.py", "f", 1)
+    outer = Frame("repro/systems/x/b.py", "g", 2)
+    stack = CallStack([inner, outer])
+    assert stack.top == inner
+    assert stack.site == Site.of_frame(inner)
+    assert "<-" in stack.pretty()
+
+
+def test_empty_callstack():
+    stack = CallStack()
+    assert stack.top is None
+    assert stack.site is None
+    assert stack.pretty() == "<no app frames>"
+
+
+def test_capture_stack_filters_to_marked_packages():
+    # This test file lives under tests/, which is a marked package.
+    stack = capture_stack()
+    assert stack
+    assert all(
+        "tests" in f.path or "repro/systems" in f.path or "examples" in f.path
+        for f in stack
+    )
+    assert stack.top.func == "test_capture_stack_filters_to_marked_packages"
+
+
+def test_callstacks_hashable_and_equal():
+    f = Frame("tests/x.py", "f", 3)
+    assert CallStack([f]) == CallStack([f])
+    assert hash(CallStack([f])) == hash(CallStack([f]))

@@ -1,0 +1,27 @@
+"""The one-shot reproduction report."""
+
+import pytest
+
+from repro.bench.reproduce import reproduce_all, write_report
+
+
+def test_subset_report(tmp_path):
+    report, tables = reproduce_all(only=["table3"])
+    assert "Table 3" in report
+    assert set(tables) == {"table3"}
+    path = tmp_path / "report.txt"
+    text = write_report(str(path), only=["table3"])
+    assert path.read_text() == text
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        reproduce_all(only=["table99"])
+
+
+def test_cli_reproduce_subset(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "rep.txt"
+    assert main(["reproduce", "--only", "table3", "--out", str(out)]) == 0
+    assert "Table 3" in out.read_text()

@@ -1,0 +1,92 @@
+"""Property-based tests: trace record serialization round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ids import CallStack, Frame
+from repro.runtime.ops import OpEvent, OpKind
+from repro.trace import Trace, dump_records, load_records, record_from_dict, record_to_dict
+
+_kinds = st.sampled_from(list(OpKind))
+_obj_ids = st.one_of(
+    st.integers(min_value=0, max_value=10_000),
+    st.text(alphabet="abcdefgh-/0123456789", min_size=1, max_size=16),
+    st.tuples(st.text(alphabet="abc/", min_size=1, max_size=8), st.integers(0, 99)),
+)
+_frames = st.builds(
+    Frame,
+    path=st.sampled_from(
+        ["repro/systems/x/a.py", "repro/systems/y/b.py", "examples/q.py"]
+    ),
+    func=st.sampled_from(["f", "g", "handler", "poll"]),
+    line=st.integers(min_value=1, max_value=500),
+)
+_stacks = st.lists(_frames, max_size=4).map(CallStack)
+_locations = st.one_of(
+    st.none(), st.tuples(st.integers(0, 50), st.text("abck#", min_size=1, max_size=6))
+)
+
+_events = st.builds(
+    OpEvent,
+    seq=st.integers(min_value=1, max_value=1_000_000),
+    kind=_kinds,
+    obj_id=_obj_ids,
+    node=st.sampled_from(["am", "nm1", "zk2"]),
+    tid=st.integers(0, 64),
+    thread_name=st.sampled_from(["am.rpc", "nm1.main"]),
+    segment=st.integers(0, 512),
+    callstack=_stacks,
+    location=_locations,
+    observed_write=st.one_of(st.none(), st.integers(1, 1_000_000)),
+    in_handler=st.booleans(),
+    extra=st.dictionaries(
+        st.sampled_from(["method", "verb", "queue", "etype"]),
+        st.one_of(st.text(max_size=8), st.integers(0, 99), st.booleans()),
+        max_size=3,
+    ),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(event=_events)
+def test_single_record_roundtrip(event):
+    restored = record_from_dict(record_to_dict(event))
+    assert restored.seq == event.seq
+    assert restored.kind == event.kind
+    assert restored.obj_id == event.obj_id
+    assert restored.node == event.node
+    assert restored.tid == event.tid
+    assert restored.segment == event.segment
+    assert restored.callstack == event.callstack
+    assert restored.location == event.location
+    assert restored.observed_write == event.observed_write
+    assert restored.in_handler == event.in_handler
+    assert restored.extra == event.extra
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=st.lists(_events, max_size=20))
+def test_record_stream_roundtrip(events):
+    # Make seqs unique so ordering is well defined.
+    events = [
+        OpEvent(**{**e.__dict__, "seq": i + 1}) for i, e in enumerate(events)
+    ]
+    restored = load_records(dump_records(events))
+    assert [r.seq for r in restored] == [e.seq for e in events]
+    assert [r.kind for r in restored] == [e.kind for e in events]
+
+
+@settings(max_examples=30, deadline=None)
+@given(events=st.lists(_events, max_size=30))
+def test_trace_keeps_seq_order_regardless_of_insertion(events):
+    events = [
+        OpEvent(**{**e.__dict__, "seq": i + 1}) for i, e in enumerate(events)
+    ]
+    trace = Trace()
+    # Insert in a scrambled but deterministic order.
+    for event in sorted(events, key=lambda e: (e.tid, -e.seq)):
+        trace.append(event)
+    seqs = [r.seq for r in trace.records]
+    assert seqs == sorted(seqs)
+    for event in events:
+        assert trace.by_seq(event.seq) is not None

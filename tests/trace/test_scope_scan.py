@@ -1,0 +1,76 @@
+"""The static communication-function scan (the WALA-analog pre-pass)."""
+
+from repro.trace import (
+    SelectiveScope,
+    find_comm_functions,
+    find_comm_functions_in_source,
+)
+
+
+def test_rpc_call_marks_function():
+    source = "def f(node):\n    return node.rpc('b').m()\n"
+    assert find_comm_functions_in_source(source) == {"f"}
+
+
+def test_socket_send_marks_function():
+    source = "def g(node):\n    node.send('b', 'v', 1)\n"
+    assert "g" in find_comm_functions_in_source(source)
+
+
+def test_zk_update_marks_function_only_with_zk_receiver():
+    source = (
+        "def zk_user(self):\n"
+        "    self.zk.create('/x')\n"
+        "\n"
+        "def list_user(self, items):\n"
+        "    items.create('x')\n"
+    )
+    funcs = find_comm_functions_in_source(source)
+    assert "zk_user" in funcs
+    assert "list_user" not in funcs
+
+
+def test_nested_functions_scanned():
+    source = (
+        "def outer(node):\n"
+        "    def inner():\n"
+        "        node.send('b', 'v', 1)\n"
+        "    return inner\n"
+    )
+    funcs = find_comm_functions_in_source(source)
+    assert "inner" in funcs
+    # outer's own body includes inner's def, so the scan sees the call.
+    assert "outer" in funcs
+
+
+def test_pure_computation_not_marked():
+    source = "def calc(x):\n    return x * 2\n"
+    assert not find_comm_functions_in_source(source)
+
+
+def test_scan_over_real_system_modules():
+    from repro.systems import workload_by_id
+
+    workload = workload_by_id("MR-3274")
+    funcs = find_comm_functions(workload.modules())
+    # The container's polling loop conducts RPC.
+    assert "_run_container" in funcs
+    # Pure event handlers are not comm functions (they are covered by
+    # the in_handler rule instead).
+    assert "on_register_task" not in funcs
+
+
+def test_selective_scope_uses_dynamic_extent():
+    from repro.ids import CallStack, Frame
+    from repro.runtime.ops import OpEvent, OpKind
+
+    scope = SelectiveScope(comm_functions={"driver"})
+    inner = Frame("repro/systems/x.py", "helper", 3)
+    outer = Frame("repro/systems/x.py", "driver", 9)
+    event = OpEvent(
+        seq=1, kind=OpKind.MEM_READ, obj_id="v", node="n", tid=0,
+        thread_name="t", segment=0,
+        callstack=CallStack([inner, outer]),
+    )
+    # helper itself is not a comm function, but it is called from one.
+    assert scope.should_trace_mem(event)

@@ -1,0 +1,45 @@
+"""Trace statistics."""
+
+from repro.runtime import Cluster
+from repro.trace import FullScope, Tracer, compute_stats
+
+
+def test_stats_on_small_workload():
+    cluster = Cluster(seed=0)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    var = a.shared_var("x", 0)
+    b.rpc_server.register("get", lambda: 1)
+
+    def worker():
+        var.set(1)
+        var.get()
+        a.rpc("b").get()
+
+    a.spawn(worker, name="w")
+    cluster.run()
+
+    stats = compute_stats(tracer.trace)
+    assert stats.total == len(tracer.trace)
+    assert stats.reads == 1
+    assert stats.writes == 1
+    assert stats.mem_locations == 1
+    assert stats.per_node["a"] > 0
+    assert stats.per_node["b"] > 0  # the RPC handler side
+    assert stats.handler_segments >= 1
+    assert "records:" in stats.render()
+
+
+def test_stats_on_benchmark_trace():
+    from repro.systems import workload_by_id
+    from repro.trace import selective_scope_for
+
+    workload = workload_by_id("ZK-1144")
+    cluster = workload.cluster(0, churn=False)
+    tracer = Tracer(scope=selective_scope_for(workload.modules())).bind(cluster)
+    cluster.run()
+    stats = compute_stats(tracer.trace)
+    assert stats.segments > stats.handler_segments
+    assert stats.size_bytes == tracer.trace.size_bytes()
+    assert sum(stats.per_thread.values()) == stats.total

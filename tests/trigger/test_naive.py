@@ -1,0 +1,125 @@
+"""The naive sleep-injection baseline (paper Section 5.1)."""
+
+from repro.detect import ReportSet, Verdict, detect_races
+from repro.runtime import Cluster, sleep
+from repro.trace import FullScope, Tracer
+from repro.trigger import NaiveSleepTrigger
+
+
+def build_simple_race(cluster):
+    """A race the naive approach CAN trigger: wide window, two threads."""
+    node = cluster.add_node("n")
+    var = node.shared_var("flag", None)
+
+    def early():
+        var.set("early")
+
+    def late():
+        sleep(10)
+        value = var.get()
+        if value is None:
+            node.log.error("flag missing")
+
+    node.spawn(early, name="e")
+    node.spawn(late, name="l")
+
+
+def _report_for(build):
+    cluster = Cluster(seed=0)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    build(cluster)
+    result = cluster.run()
+    assert not result.harmful
+    detection = detect_races(tracer.trace)
+    reports = ReportSet.from_detection(detection)
+    assert reports.reports
+    return reports.reports[0]
+
+
+def _factory(build):
+    def make(seed):
+        cluster = Cluster(seed=seed, max_steps=20_000)
+        build(cluster)
+        return cluster
+
+    return make
+
+
+def test_naive_triggers_wide_window_race():
+    report = _report_for(build_simple_race)
+    naive = NaiveSleepTrigger(_factory(build_simple_race), delays=(5, 30, 100))
+    outcome = naive.validate(report)
+    assert outcome.verdict is Verdict.HARMFUL
+
+
+def build_narrow_window_race(cluster):
+    """A race the naive approach struggles with: the harmful order needs
+    the remove to land in a handler's tiny check-act window, reachable
+    only through a causally-downstream handler (no local sleep helps)."""
+    node = cluster.add_node("n")
+    jmap = node.shared_dict("jmap")
+    q = node.event_queue("q", consumers=1)
+
+    def check_act(event):
+        if jmap.contains("k"):
+            value = jmap.get("k")
+            if value is None:
+                node.log.error("entry vanished mid-handler")
+
+    q.register("check", check_act)
+
+    def main():
+        jmap.put("k", 1)
+        q.post("check")
+        jmap.remove("k")
+        q.post("check")
+
+    node.spawn(main, name="main")
+
+
+def test_naive_is_weaker_than_controller_somewhere():
+    """Across the suite the controller confirms races naive cannot —
+    the paper's §7.2 comparison (naive failed on 23 of 35)."""
+    from repro.systems import workload_by_id
+    from repro.trace import selective_scope_for
+    from repro.trigger import PlacementAnalyzer, TriggerModule
+
+    workload = workload_by_id("MR-3274")
+    cluster = workload.cluster(None)
+    tracer = Tracer(
+        scope=selective_scope_for(workload.modules())
+    ).bind(cluster)
+    cluster.run()
+    detection = detect_races(tracer.trace)
+    reports = ReportSet.from_detection(detection)
+    target = [
+        r
+        for r in reports
+        if any(a.is_write for a in r.representative.accesses())
+        and "tasks" in r.representative.variable
+        and any(
+            a.site and "on_kill_job" in a.site.func
+            for a in r.representative.accesses()
+        )
+    ]
+    assert target, "expected the get/remove report"
+    report = target[0]
+
+    naive = NaiveSleepTrigger(workload.factory(), delays=(5, 20, 80))
+    naive_outcome = naive.validate(report)
+    # The naive approach cannot confirm the hang: the get side lives in
+    # an RPC handler and sleeping there just delays the reply.
+    assert naive_outcome.verdict is not Verdict.HARMFUL
+
+    placement = PlacementAnalyzer(tracer.trace, detection.graph)
+    module = TriggerModule(workload.factory(), seeds=(0, 1, 2))
+    outcome = module.validate_report(report, placement)
+    assert outcome.verdict is Verdict.HARMFUL
+
+
+def test_naive_outcome_describe():
+    report = _report_for(build_simple_race)
+    naive = NaiveSleepTrigger(_factory(build_simple_race), delays=(5,))
+    outcome = naive.validate(report)
+    text = outcome.describe()
+    assert "naive sleep-injection" in text
