@@ -48,7 +48,7 @@ class PrimaryBackupService:
         epoch = self.epoch.get()
         if epoch is None:
             # Update arrived before startup finished: data loss.
-            self.backup.log.error("apply before epoch init: update dropped")
+            self.backup.log.fatal("apply before epoch init: update dropped")
             return
         self.store.put(payload["key"], payload["value"])
 

@@ -1,17 +1,19 @@
-"""Fault injection: DCbugs under a misbehaving network.
+"""Fault injection: DCbugs under crashes, restarts and a flaky network.
 
-The mini-Cassandra CA-1011 bug is a timing race between the bootstrap
-gossip and the write path's replica selection.  A flaky network makes
-the timing *worse*: delaying the gossip digest widens the race window
-until the failure fires in plain (unsteered) runs.
+Three acts:
 
-This example:
-
-1. runs the workload on a reliable network — the write replicates fine;
-2. runs it under increasing gossip delay — at some delay the backup
-   copy is lost and the seed node logs the data-backup failure;
-3. shows DCatch detecting the same race from a *correct* run, no faults
-   needed — prediction beats injection.
+1. *Targeted chaos*: the mini-Cassandra CA-1011 bug is a timing race
+   between the bootstrap gossip and the write path's replica selection.
+   Delaying the gossip digest widens the race window until the backup
+   copy is silently lost in plain (unsteered) runs.
+2. *A crash/restart campaign*: a seeded ``FaultPlan`` crashes and
+   restarts the bootstrapping node, cuts and heals a partition, and
+   duplicates messages — while the full DCatch pipeline (trace, detect,
+   prune, trigger) runs over the faulted execution.  The campaign
+   collects partial results instead of raising, and checks that no
+   dropped or duplicated message manufactured a happens-before edge.
+3. *Prediction beats injection*: DCatch flags the same race from one
+   clean run, no faults needed.
 
 Run with::
 
@@ -19,7 +21,16 @@ Run with::
 """
 
 from repro.detect import ReportSet, detect_races
-from repro.runtime import Delivery, FailureKind, NetworkPolicy
+from repro.pipeline import PipelineConfig
+from repro.runtime import (
+    Delivery,
+    FailureKind,
+    FaultAction,
+    FaultCampaign,
+    FaultKind,
+    FaultPlan,
+    NetworkPolicy,
+)
 from repro.systems import workload_by_id
 from repro.trace import Tracer, selective_scope_for
 
@@ -44,9 +55,23 @@ def run_with_delay(workload, delay):
     backup_failures = [
         e
         for e in result.failures
-        if e.kind is FailureKind.ERROR_LOG and "backup" in e.message
+        if e.kind is FailureKind.FATAL_LOG and "backup" in e.message
     ]
     return result, backup_failures
+
+
+def crash_restart_plan(seed, nodes):
+    """The campaign's per-run plan: crash + restart the bootstrapping
+    node, one partition/heal window after the write, light duplication."""
+    return FaultPlan(
+        [
+            FaultAction(25, FaultKind.CRASH, target="ca2"),
+            FaultAction(55, FaultKind.RESTART, target="ca2"),
+            FaultAction(140, FaultKind.PARTITION, group_a=("ca1",), group_b=("ca2",)),
+            FaultAction(170, FaultKind.HEAL, group_a=("ca1",), group_b=("ca2",)),
+        ],
+        duplicate_probability=0.05,
+    )
 
 
 def main() -> None:
@@ -67,7 +92,25 @@ def main() -> None:
             failing_delay = delay
     assert failing_delay is not None, "expected some delay to expose the bug"
 
-    print("\n3) DCatch prediction from a correct run (no faults):")
+    print("\n3) crash/restart campaign through the full pipeline:")
+    campaign = FaultCampaign(
+        workload,
+        seeds=(0,),
+        plan_factory=crash_restart_plan,
+        config=PipelineConfig(trigger_seeds=(0,)),
+    )
+    outcome = campaign.run()
+    print("   " + outcome.summary().replace("\n", "\n   "))
+    assert not outcome.failed_runs, "campaign must degrade, not die"
+    assert outcome.sound, "faults must not manufacture HB edges"
+    run = outcome.completed_runs[0]
+    restarted = run.result.monitored_result
+    print(
+        f"   faulted monitored run: completed={restarted.completed}, "
+        f"{len(run.result.trace)} records traced under faults"
+    )
+
+    print("\n4) DCatch prediction from a correct run (no faults):")
     cluster = workload.cluster(0, churn=False)
     tracer = Tracer(scope=selective_scope_for(workload.modules()))
     tracer.bind(cluster)

@@ -64,6 +64,16 @@ class RpcError(SimFailure):
     """An RPC call failed (remote handler raised, or target unreachable)."""
 
 
+class RpcTimeout(RpcError):
+    """An RPC call exceeded its per-call timeout (in scheduler steps).
+
+    The caller gave up on the reply; the remote handler may still run to
+    completion.  No ``RPC_JOIN`` record is emitted for the timed-out
+    attempt, so the abandoned call contributes no Rule-Mrpc edge (the
+    server's ``End`` could otherwise be ordered *after* the caller's
+    ``Join`` — a backward edge)."""
+
+
 class NoNodeError(SimFailure):
     """Coordination-service operation on a znode that does not exist."""
 

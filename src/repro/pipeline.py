@@ -28,7 +28,8 @@ from repro.detect.report import ReportSet, Verdict
 from repro.errors import TraceAnalysisOOM
 from repro.hb.graph import DEFAULT_MEMORY_BUDGET
 from repro.hb.model import FULL_MODEL, HBModel
-from repro.runtime.cluster import RunResult
+from repro.runtime.cluster import Cluster, RunResult
+from repro.runtime.faults import FaultPlan
 from repro.systems.base import Workload
 from repro.trace.scope import FullScope, TracingScope, selective_scope_for
 from repro.trace.store import Trace
@@ -49,6 +50,10 @@ class PipelineConfig:
     trigger: bool = True
     trigger_seeds: tuple = (0, 1)
     monitored_seed: Optional[int] = None  # None = the workload's default
+    #: Optional fault-injection schedule installed on the base and the
+    #: monitored run (see ``repro.runtime.faults``).  Trigger re-runs stay
+    #: fault-free: they must isolate the racing pair, not the faults.
+    fault_plan: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -67,6 +72,16 @@ class PipelineResult:
     outcomes: List[TriggerOutcome] = field(default_factory=list)
     timings: Dict[str, float] = field(default_factory=dict)
     oom: Optional[TraceAnalysisOOM] = None
+    #: Degrade-don't-die bookkeeping: count of failures per stage name and
+    #: the error strings.  A stage failure leaves earlier stages' results
+    #: intact — the pipeline returns what it has instead of raising.
+    stage_failures: Dict[str, int] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when some stage failed and the result is partial."""
+        return bool(self.stage_failures) or self.oom is not None
 
     # -- Table 4-style counts ------------------------------------------------
 
@@ -102,6 +117,11 @@ class PipelineResult:
             lines.append(f"static pruning: {self.prune_result.summary()}")
         if self.reports is not None:
             lines.append(f"DCatch reports: {self.reports.summary()}")
+        if self.stage_failures:
+            parts = ", ".join(
+                f"{stage}: {count}" for stage, count in sorted(self.stage_failures.items())
+            )
+            lines.append(f"partial failures: {parts}")
         for key, value in sorted(self.timings.items()):
             lines.append(f"  {key}: {value:.3f}s")
         return "\n".join(lines)
@@ -123,13 +143,18 @@ class DCatch:
             return FullScope()
         return selective_scope_for(self.workload.modules())
 
+    def _build_cluster(self) -> Cluster:
+        cluster = self.workload.cluster(self.config.monitored_seed)
+        if self.config.fault_plan is not None:
+            self.config.fault_plan.install(cluster)
+        return cluster
+
     def run_base(self) -> RunResult:
         """The untraced baseline run (Table 6's 'Base' column)."""
-        cluster = self.workload.cluster(self.config.monitored_seed)
-        return cluster.run()
+        return self._build_cluster().run()
 
     def run_traced(self) -> tuple:
-        cluster = self.workload.cluster(self.config.monitored_seed)
+        cluster = self._build_cluster()
         tracer = Tracer(scope=self._make_scope(), name=self.workload.info.bug_id)
         tracer.bind(cluster)
         result = cluster.run()
@@ -153,18 +178,28 @@ class DCatch:
         reports = None
         oom = None
         outcomes: List[TriggerOutcome] = []
+        stage_failures: Dict[str, int] = {}
+        errors: List[str] = []
+
+        def stage_failed(stage: str, exc: Exception) -> None:
+            stage_failures[stage] = stage_failures.get(stage, 0) + 1
+            errors.append(f"{stage}: {type(exc).__name__}: {exc}")
 
         try:
             started = time.perf_counter()
             detection = detect_races(
                 trace, model=config.model, memory_budget=config.memory_budget
             )
-            timings["analysis_seconds"] = time.perf_counter() - started
-
             reports_pre = ReportSet.from_detection(detection)
             reports = reports_pre
+            timings["analysis_seconds"] = time.perf_counter() - started
+        except TraceAnalysisOOM as exc:
+            oom = exc
+        except Exception as exc:  # noqa: BLE001 - degrade, don't die
+            stage_failed("analysis", exc)
 
-            if config.prune:
+        if reports is not None and config.prune:
+            try:
                 started = time.perf_counter()
                 index = SourceIndex.from_modules(self.workload.modules())
                 pruner = StaticPruner.for_trace(
@@ -175,18 +210,30 @@ class DCatch:
                 prune_result = pruner.apply(reports_pre)
                 reports = prune_result.kept
                 timings["pruning_seconds"] = time.perf_counter() - started
+            except Exception as exc:  # noqa: BLE001
+                # Pruning is an optimization: fall back to the unpruned set.
+                stage_failed("pruning", exc)
+                reports = reports_pre
 
-            if config.trigger:
-                started = time.perf_counter()
+        if reports is not None and detection is not None and config.trigger:
+            started = time.perf_counter()
+            try:
                 placement = PlacementAnalyzer(trace, detection.graph)
                 module = TriggerModule(
                     self.workload.factory(), seeds=config.trigger_seeds
                 )
+            except Exception as exc:  # noqa: BLE001
+                stage_failed("trigger", exc)
+            else:
                 for report in reports:
-                    outcomes.append(module.validate_report(report, placement))
-                timings["trigger_seconds"] = time.perf_counter() - started
-        except TraceAnalysisOOM as exc:
-            oom = exc
+                    # Each report's re-runs are isolated: one hung or
+                    # crashed trigger execution is that report's outcome,
+                    # not the pipeline's.
+                    try:
+                        outcomes.append(module.validate_report(report, placement))
+                    except Exception as exc:  # noqa: BLE001
+                        stage_failed("trigger", exc)
+            timings["trigger_seconds"] = time.perf_counter() - started
 
         return PipelineResult(
             workload=self.workload,
@@ -201,4 +248,6 @@ class DCatch:
             outcomes=outcomes,
             timings=timings,
             oom=oom,
+            stage_failures=stage_failures,
+            errors=errors,
         )

@@ -8,9 +8,20 @@ coordination service with watches, shared-memory heap objects and locks.
 """
 
 from repro.runtime.api import me, sleep, yield_now
-from repro.runtime.cluster import Cluster, RunResult
+from repro.runtime.cluster import Cluster, RunResult, TimeoutRegistry
 from repro.runtime.events import Event, EventQueue
 from repro.runtime.failures import FailureEvent, FailureKind, FailureLog
+from repro.runtime.faults import (
+    CampaignResult,
+    CampaignRun,
+    FaultAction,
+    FaultCampaign,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    SoundnessReport,
+    verify_fault_soundness,
+)
 from repro.runtime.heap import (
     SharedCounter,
     SharedDict,
@@ -26,10 +37,10 @@ from repro.runtime.network import (
     NetworkPolicy,
     ReliableNetwork,
 )
-from repro.runtime.node import Node
+from repro.runtime.node import Node, NodeBehavior
 from repro.runtime.replay import RecordingStrategy, ReplayStrategy
 from repro.runtime.ops import HB_KINDS, Interceptor, Location, MEM_KINDS, OpEvent, OpKind
-from repro.runtime.rpc import RpcProxy, RpcServer, call_rpc
+from repro.runtime.rpc import RpcProxy, RpcServer, call_rpc, call_with_retry
 from repro.runtime.scheduler import (
     PreferredThreadStrategy,
     RandomStrategy,
@@ -54,7 +65,18 @@ from repro.runtime.zookeeper import (
 __all__ = [
     "Cluster",
     "RunResult",
+    "TimeoutRegistry",
     "Node",
+    "NodeBehavior",
+    "FaultKind",
+    "FaultAction",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultCampaign",
+    "CampaignRun",
+    "CampaignResult",
+    "SoundnessReport",
+    "verify_fault_soundness",
     "Event",
     "EventQueue",
     "FailureEvent",
@@ -83,6 +105,7 @@ __all__ = [
     "RpcProxy",
     "RpcServer",
     "call_rpc",
+    "call_with_retry",
     "Scheduler",
     "SchedulingStrategy",
     "RandomStrategy",

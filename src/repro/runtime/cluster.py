@@ -35,6 +35,34 @@ from repro.runtime.scheduler import (
 )
 
 
+class TimeoutRegistry:
+    """Outstanding logical-time deadlines (RPC timeouts, fault actions).
+
+    Registered as a scheduler wake hint: when every thread is blocked or
+    asleep, the clock can jump to the earliest pending deadline so that a
+    timeout predicate (``clock >= deadline``) eventually fires instead of
+    the run being declared a deadlock."""
+
+    def __init__(self) -> None:
+        self._deadlines: Dict[int, int] = {}
+        self._next_key = 0
+
+    def register(self, deadline: int) -> int:
+        key = self._next_key
+        self._next_key += 1
+        self._deadlines[key] = deadline
+        return key
+
+    def unregister(self, key: int) -> None:
+        self._deadlines.pop(key, None)
+
+    def next_wake(self) -> Optional[int]:
+        return min(self._deadlines.values()) if self._deadlines else None
+
+    def __len__(self) -> int:
+        return len(self._deadlines)
+
+
 @dataclass
 class RunResult:
     """Outcome of one cluster run."""
@@ -80,6 +108,8 @@ class Cluster:
 
         self.network: NetworkPolicy = ReliableNetwork()
         self.scheduler = Scheduler(strategy=strategy, seed=seed, max_steps=max_steps)
+        self.timeouts = TimeoutRegistry()
+        self.scheduler.add_wake_hint(self.timeouts.next_wake)
         self.ids = IdAllocator()
         self.failures = FailureLog()
         self.nodes: Dict[str, Node] = {}

@@ -7,9 +7,14 @@ observable failure events so the trigger module can tell harmful schedules
 from benign ones:
 
 * ``node.abort(msg)`` — the analogue of ``System.exit``;
-* ``log.fatal`` / ``log.error`` — severe printed errors;
+* ``log.fatal`` — a severe printed error (``log.error`` is recorded too,
+  but counts as noise: real systems error-log tolerated conditions);
 * an exception escaping a simulated thread — uncatchable exception;
 * ``DeadlockError`` / ``HangError`` from the scheduler — hangs.
+
+``FailureKind.severe`` separates the harmful kinds from the noisy ones;
+``FailureLog.harmful()`` (and therefore every trigger verdict) only
+considers severe events.
 """
 
 from __future__ import annotations
@@ -32,8 +37,13 @@ class FailureKind(Enum):
 
     @property
     def severe(self) -> bool:
-        """Whether this failure makes a run *harmful* (vs. merely noisy)."""
-        return True
+        """Whether this failure makes a run *harmful* (vs. merely noisy).
+
+        ``log.error`` lines are noise in real cloud systems — they fire on
+        tolerated intermediate states and retried operations — so only
+        aborts, fatal logs, uncatchable exceptions, deadlocks and hangs
+        count toward a harmful verdict."""
+        return self is not FailureKind.ERROR_LOG
 
 
 @dataclass
@@ -59,7 +69,12 @@ class FailureLog:
         self.events.append(event)
 
     def harmful(self) -> bool:
-        return bool(self.events)
+        """True when any *severe* failure was recorded; noisy error-log
+        events alone do not make a run harmful."""
+        return any(e.kind.severe for e in self.events)
+
+    def severe_events(self) -> List[FailureEvent]:
+        return [e for e in self.events if e.kind.severe]
 
     def kinds(self) -> List[FailureKind]:
         return [e.kind for e in self.events]

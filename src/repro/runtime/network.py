@@ -27,6 +27,7 @@ class Delivery:
 
     deliver: bool
     delay: int = 0  # logical clock ticks
+    copies: int = 1  # > 1: the network duplicated the message
 
 
 class NetworkPolicy:
@@ -51,13 +52,19 @@ class FlakyNetwork(NetworkPolicy):
         seed: int = 0,
         max_delay: int = 0,
         drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
         protected_verbs: Iterable[str] = ("zk-notify",),
     ) -> None:
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
         if not 0.0 <= drop_probability <= 1.0:
             raise ValueError("drop_probability must be within [0, 1]")
+        if not 0.0 <= duplicate_probability <= 1.0:
+            raise ValueError("duplicate_probability must be within [0, 1]")
         self._rng = random.Random(seed)
         self.max_delay = max_delay
         self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
         #: Verbs that are never dropped (coordination-service traffic —
         #: real ZooKeeper sessions resend internally).
         self.protected_verbs = set(protected_verbs)
@@ -72,8 +79,35 @@ class FlakyNetwork(NetworkPolicy):
                 self._partitions.add((a, b))
                 self._partitions.add((b, a))
 
-    def heal(self) -> None:
-        self._partitions.clear()
+    def partition_one_way(
+        self, src_group: Iterable[str], dst_group: Iterable[str]
+    ) -> None:
+        """Cut links *from* ``src_group`` *to* ``dst_group`` only — the
+        asymmetric half-open partition real networks produce (a node that
+        can receive but whose replies are black-holed)."""
+        for a in src_group:
+            for b in dst_group:
+                self._partitions.add((a, b))
+
+    def heal(
+        self,
+        group_a: Optional[Iterable[str]] = None,
+        group_b: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Restore connectivity.
+
+        With no arguments every cut link heals.  With two groups only the
+        links between them heal (both directions), leaving other
+        partitions in place."""
+        if group_a is None and group_b is None:
+            self._partitions.clear()
+            return
+        if group_a is None or group_b is None:
+            raise ValueError("selective heal needs both groups (or neither)")
+        for a in group_a:
+            for b in group_b:
+                self._partitions.discard((a, b))
+                self._partitions.discard((b, a))
 
     def is_partitioned(self, src: str, dst: str) -> bool:
         return (src, dst) in self._partitions
@@ -90,4 +124,11 @@ class FlakyNetwork(NetworkPolicy):
         ):
             return Delivery(deliver=False)
         delay = self._rng.randint(0, self.max_delay) if self.max_delay else 0
-        return Delivery(deliver=True, delay=delay)
+        copies = 1
+        if (
+            verb not in self.protected_verbs
+            and self.duplicate_probability > 0.0
+            and self._rng.random() < self.duplicate_probability
+        ):
+            copies = 2
+        return Delivery(deliver=True, delay=delay, copies=copies)

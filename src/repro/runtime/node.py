@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.runtime import failures as failures_mod
 from repro.runtime.events import EventQueue
@@ -18,6 +18,21 @@ from repro.runtime.ops import OpKind
 from repro.runtime.rpc import RpcProxy, RpcServer
 from repro.runtime.scheduler import SimThread, ThreadState, current_sim_thread
 from repro.runtime.sockets import SocketManager
+
+
+class NodeBehavior:
+    """Base class for system components that own per-node state.
+
+    A behavior attached via ``node.attach(self)`` is notified when the
+    node restarts after a crash (``Node.restart()``): its ``on_restart``
+    hook re-bootstraps whatever in-memory state the crash invalidated —
+    re-registering tokens, resetting handshake flags, re-announcing
+    membership.  Hooks run on the thread that called ``restart()`` (the
+    fault injector), so any shared-state writes they perform are traced
+    as that thread's operations."""
+
+    def on_restart(self, node: "Node") -> None:  # pragma: no cover - default
+        pass
 
 
 class Node:
@@ -43,6 +58,9 @@ class Node:
         self._queues: Dict[str, EventQueue] = {}
         self._locks: Dict[str, SimLock] = {}
         self._zk_client: Optional[object] = None
+        self.restarts = 0
+        self._behaviors: List[NodeBehavior] = []
+        self._restart_hooks: List[Callable[[], None]] = []
 
     # -- threads ------------------------------------------------------------
 
@@ -81,8 +99,26 @@ class Node:
 
     # -- communication ------------------------------------------------------
 
-    def rpc(self, target_name: str) -> RpcProxy:
-        return RpcProxy(self, target_name)
+    def rpc(
+        self,
+        target_name: str,
+        timeout: Optional[int] = None,
+        retries: int = 0,
+        backoff_base: int = 2,
+        backoff_factor: int = 2,
+        max_backoff: int = 64,
+    ) -> RpcProxy:
+        """An RPC proxy to ``target_name``; pass ``timeout`` (scheduler
+        steps) and/or ``retries`` for a fault-tolerant caller."""
+        return RpcProxy(
+            self,
+            target_name,
+            timeout=timeout,
+            retries=retries,
+            backoff_base=backoff_base,
+            backoff_factor=backoff_factor,
+            max_backoff=max_backoff,
+        )
 
     def send(self, target_name: str, verb: str, payload: Any = None) -> str:
         return self.sockets.send(target_name, verb, payload)
@@ -135,8 +171,41 @@ class Node:
         failures_mod.abort(self, message)
 
     def crash(self) -> None:
-        """Mark the node dead: future RPCs to it fail, messages are dropped."""
+        """Mark the node dead: future RPCs to it fail, messages are dropped.
+
+        Everything in flight dies with it — the pending inbox is purged
+        (counted as dropped) and queued-but-unstarted RPC requests fail,
+        unblocking remote callers with an ``RpcError`` instead of leaving
+        them waiting on a reply that can never come."""
+        if self.crashed:
+            return
         self.crashed = True
+        self.sockets.purge()
+        self.rpc_server.fail_pending("node crashed")
+        self.log.warn("node crashed")
+
+    def restart(self) -> None:
+        """Bring a crashed node back: accept RPCs/messages again and give
+        every attached ``NodeBehavior`` (and ``on_restart`` hook) a chance
+        to re-bootstrap its state.  A no-op on a live node."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.restarts += 1
+        self.log.info(f"node restarted (restart #{self.restarts})")
+        for behavior in self._behaviors:
+            behavior.on_restart(self)
+        for hook in self._restart_hooks:
+            hook()
+
+    def attach(self, behavior: NodeBehavior) -> NodeBehavior:
+        """Register a component whose ``on_restart`` re-bootstraps state."""
+        self._behaviors.append(behavior)
+        return behavior
+
+    def on_restart(self, hook: Callable[[], None]) -> None:
+        """Register a bare callable invoked after every restart."""
+        self._restart_hooks.append(hook)
 
     def __repr__(self) -> str:
         return f"<Node {self.name}{' (crashed)' if self.crashed else ''}>"

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional
 
-from repro.errors import ReproError, RpcError, SimFailure
+from repro.errors import ReproError, RpcError, RpcTimeout, SimFailure
 from repro.runtime.ops import OpKind
 from repro.runtime.scheduler import current_sim_thread
 
@@ -39,6 +39,8 @@ class RpcRequest:
         self.result: Any = None
         self.error: Optional[SimFailure] = None
         self.done = False
+        #: The caller timed out and gave up; the server skips it unstarted.
+        self.abandoned = False
 
 
 class RpcServer:
@@ -78,13 +80,32 @@ class RpcServer:
     def submit(self, request: RpcRequest) -> None:
         self._queue.append(request)
 
+    def fail_pending(self, reason: str) -> int:
+        """Fail every queued (unstarted) request — a crashed node answers
+        nobody.  Blocked callers unblock with an ``RpcError`` instead of
+        waiting forever on a reply that cannot come."""
+        failed = 0
+        while self._queue:
+            request = self._queue.popleft()
+            request.error = RpcError(
+                f"RPC {request.method} to {self.node.name} failed: {reason}"
+            )
+            request.done = True
+            failed += 1
+        return failed
+
+    def _ready(self) -> bool:
+        return bool(self._queue) and not self.node.crashed
+
     def _serve_loop(self) -> None:
         me = current_sim_thread()
         while True:
-            me.block_until(lambda: bool(self._queue), f"rpc-server:{self.node.name}")
-            if not self._queue:
+            me.block_until(self._ready, f"rpc-server:{self.node.name}")
+            if not self._ready():
                 continue
             request = self._queue.popleft()
+            if request.abandoned:
+                continue  # the caller timed out before we started
             self._handle(request)
 
     def _handle(self, request: RpcRequest) -> None:
@@ -116,35 +137,152 @@ class RpcServer:
 
 
 def call_rpc(
-    caller_node: "object", target_name: str, method: str, *args: Any, **kwargs: Any
+    caller_node: "object",
+    target_name: str,
+    method: str,
+    *args: Any,
+    timeout: Optional[int] = None,
+    attempt: int = 0,
+    **kwargs: Any,
 ) -> Any:
-    """Blocking RPC from the current thread to ``target_name.method``."""
+    """Blocking RPC from the current thread to ``target_name.method``.
+
+    ``timeout`` is a per-call deadline in scheduler steps; on expiry the
+    call raises ``RpcTimeout``, abandons the queued request, and emits
+    **no** ``RPC_JOIN`` record — a reply that was never observed creates
+    no Rule-Mrpc edge.  ``attempt`` annotates retried calls (> 0) so the
+    trace shows each attempt as its own Create/Begin/End/Join chain.
+    """
     cluster = caller_node.cluster
     target = cluster.node(target_name)
     if target.crashed:
         raise RpcError(f"RPC {method} to crashed node {target_name}")
     tag = cluster.ids.tag("rpc")
     meta = {"method": method, "target": target_name, "caller": caller_node.name}
+    if attempt:
+        meta["attempt"] = attempt
     cluster.op(OpKind.RPC_CREATE, tag, extra=dict(meta))
+    if target.crashed:
+        # The target crashed during the scheduling point above; the
+        # orphaned Create record pairs with nothing and adds no edge.
+        raise RpcError(f"RPC {method} to crashed node {target_name}")
     request = RpcRequest(tag, method, args, kwargs, caller_node.name)
     target.rpc_server.submit(request)
     me = current_sim_thread()
-    me.block_until(lambda: request.done, f"rpc:{method}@{target_name}")
+    if timeout is None:
+        me.block_until(lambda: request.done, f"rpc:{method}@{target_name}")
+    else:
+        deadline = cluster.scheduler.clock + max(1, int(timeout))
+        key = cluster.timeouts.register(deadline)
+        try:
+            me.block_until(
+                lambda: request.done or cluster.scheduler.clock >= deadline,
+                f"rpc:{method}@{target_name}",
+            )
+        finally:
+            cluster.timeouts.unregister(key)
+        if not request.done:
+            request.abandoned = True
+            raise RpcTimeout(
+                f"RPC {method} to {target_name} timed out "
+                f"after {timeout} steps"
+            )
     cluster.op(OpKind.RPC_JOIN, tag, extra=dict(meta))
     if request.error is not None:
         raise request.error
     return request.result
 
 
-class RpcProxy:
-    """Attribute-style sugar: ``node.rpc("AM").get_task(jid)``."""
+def call_with_retry(
+    caller_node: "object",
+    target_name: str,
+    method: str,
+    *args: Any,
+    attempts: int = 3,
+    timeout: Optional[int] = None,
+    backoff_base: int = 2,
+    backoff_factor: int = 2,
+    max_backoff: int = 64,
+    retry_on: tuple = (RpcError,),
+    **kwargs: Any,
+) -> Any:
+    """``call_rpc`` with bounded retries and deterministic backoff.
 
-    def __init__(self, caller_node: "object", target_name: str) -> None:
+    Retries fire on transport failures (``RpcError`` — crashed target,
+    timeout), never on application ``SimFailure``s raised by the handler
+    (those propagate like a normal remote exception).  The backoff is
+    exponential in logical time (``backoff_base * backoff_factor**k``,
+    capped at ``max_backoff``), so retried schedules stay reproducible.
+    Each attempt allocates its own RPC tag: a failed attempt contributes
+    no HB edge and no edge ties one attempt to another.
+    """
+    from repro.runtime.api import sleep
+
+    if attempts < 1:
+        raise ReproError("call_with_retry needs at least one attempt")
+    delay = max(1, int(backoff_base))
+    last_error: Optional[SimFailure] = None
+    for attempt in range(attempts):
+        try:
+            return call_rpc(
+                caller_node,
+                target_name,
+                method,
+                *args,
+                timeout=timeout,
+                attempt=attempt,
+                **kwargs,
+            )
+        except retry_on as exc:
+            last_error = exc
+            if attempt == attempts - 1:
+                break
+            sleep(min(delay, max_backoff))
+            delay *= max(1, int(backoff_factor))
+    raise last_error
+
+
+class RpcProxy:
+    """Attribute-style sugar: ``node.rpc("AM").get_task(jid)``.
+
+    ``node.rpc("AM", timeout=20, retries=2)`` returns a robust proxy:
+    each call gets a per-call timeout (scheduler steps) and up to
+    ``retries`` retransmissions with deterministic exponential backoff.
+    The default proxy (no options) is the classic die-on-failure call.
+    """
+
+    def __init__(
+        self,
+        caller_node: "object",
+        target_name: str,
+        timeout: Optional[int] = None,
+        retries: int = 0,
+        backoff_base: int = 2,
+        backoff_factor: int = 2,
+        max_backoff: int = 64,
+    ) -> None:
         self._caller = caller_node
         self._target = target_name
+        self._timeout = timeout
+        self._retries = retries
+        self._backoff = (backoff_base, backoff_factor, max_backoff)
 
     def __getattr__(self, method: str) -> Callable:
         def invoke(*args: Any, **kwargs: Any) -> Any:
+            if self._retries or self._timeout is not None:
+                base, factor, cap = self._backoff
+                return call_with_retry(
+                    self._caller,
+                    self._target,
+                    method,
+                    *args,
+                    attempts=self._retries + 1,
+                    timeout=self._timeout,
+                    backoff_base=base,
+                    backoff_factor=factor,
+                    max_backoff=cap,
+                    **kwargs,
+                )
             return call_rpc(self._caller, self._target, method, *args, **kwargs)
 
         invoke.__name__ = method

@@ -70,26 +70,42 @@ class SocketManager:
     def deliver(self, message: Message) -> None:
         self._inbox.append(message)
 
+    def purge(self) -> int:
+        """Discard every pending inbox message (counted as dropped) — a
+        crashed node loses whatever the network had already handed over."""
+        lost = len(self._inbox)
+        self._inbox.clear()
+        self.dropped += lost
+        return lost
+
     def send(self, target_name: str, verb: str, payload: Any = None) -> str:
         """Fire-and-forget send from the current thread; returns the tag.
 
         Delivery (and whether it happens at all) is up to the cluster's
-        network policy — see ``repro.runtime.network``.
+        network policy — see ``repro.runtime.network``.  A policy may
+        duplicate the message (``Delivery.copies > 1``): every copy keeps
+        the same tag, so each extra delivery is just another ``Recv`` for
+        the one ``Send`` — Rule-Msoc stays sound.
         """
         target = self.cluster.node(target_name)
         tag = self.cluster.ids.tag("msg")
         delivery = self.cluster.network.plan(self.node.name, target_name, verb)
+        copies = max(1, delivery.copies)
+        dropped = not delivery.deliver or target.crashed
         meta = {"verb": verb, "src": self.node.name, "dst": target_name}
-        if not delivery.deliver:
+        if dropped:
             meta["dropped"] = True
+        elif copies > 1:
+            meta["copies"] = copies
         self.cluster.op(OpKind.SOCK_SEND, tag, extra=dict(meta))
-        if target.crashed or not delivery.deliver:
+        if dropped or target.crashed:
             target.sockets.dropped += 1
             return tag
         deliver_at = self.cluster.scheduler.clock + delivery.delay
-        target.sockets.deliver(
-            Message(tag, verb, payload, self.node.name, target_name, deliver_at)
-        )
+        for _ in range(copies):
+            target.sockets.deliver(
+                Message(tag, verb, payload, self.node.name, target_name, deliver_at)
+            )
         return tag
 
     def _next_delivery_time(self) -> Optional[int]:
@@ -106,6 +122,8 @@ class SocketManager:
         return None
 
     def _has_ready(self) -> bool:
+        if self.node.crashed:
+            return False  # a dead node dispatches nothing until restart
         clock = self.cluster.scheduler.clock
         return any(m.deliver_at <= clock for m in self._inbox)
 

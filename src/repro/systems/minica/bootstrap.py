@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.runtime import sleep
 from repro.runtime.cluster import Cluster
+from repro.runtime.node import NodeBehavior
 
 
-class BootstrapNode:
+class BootstrapNode(NodeBehavior):
     """A node joining the ring."""
 
     def __init__(
@@ -15,18 +18,30 @@ class BootstrapNode:
         name: str = "ca2",
         seed: str = "ca1",
         token: int = 42,
+        reannounce_every: Optional[int] = None,
     ) -> None:
         self.cluster = cluster
         self.node = cluster.add_node(name)
         self.log = self.node.log
         self.seed = seed
         self.token = token
+        #: Opt-in robustness: re-send the gossip announce every N ack
+        #: polls (the announce or its ack may have been lost to a crash
+        #: or partition).  ``None`` keeps the single-shot announce.
+        self.reannounce_every = reannounce_every
         self.acked = self.node.shared_var("acked", False)
         self.store = self.node.shared_dict("store")
         self.node.on_message("gossip-ack", self.on_gossip_ack)
         self.node.on_message("replicate", self.on_replicate)
         self.node.on_message("read-repair", self.on_read_repair)
+        self.node.attach(self)
         self.node.spawn(self.run_bootstrap, name="bootstrap-main")
+
+    def on_restart(self, node) -> None:
+        """Crash recovery: an interrupted bootstrap starts over — reset
+        the handshake flag and announce ourselves to the seed again."""
+        self.acked.set(False)
+        node.spawn(self.run_bootstrap, name="bootstrap-restart")
 
     def on_gossip_ack(self, payload, src: str) -> None:
         self.acked.set(True)
@@ -43,6 +58,14 @@ class BootstrapNode:
         self.node.send(self.seed, "gossip", {"token": self.token})
         # Custom pull-based synchronization: poll until the seed has
         # acked our digest (Rule-Mpull material).
+        polls = 0
         while not self.acked.get():
+            polls += 1
+            if (
+                self.reannounce_every is not None
+                and polls % self.reannounce_every == 0
+            ):
+                # The announce (or its ack) may be lost; re-send it.
+                self.node.send(self.seed, "gossip", {"token": self.token})
             sleep(3)
         self.log.info("bootstrap complete; serving as backup replica")

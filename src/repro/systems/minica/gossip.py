@@ -4,9 +4,10 @@ from __future__ import annotations
 
 from repro.runtime import sleep
 from repro.runtime.cluster import Cluster
+from repro.runtime.node import NodeBehavior
 
 
-class SeedNode:
+class SeedNode(NodeBehavior):
     """An established ring member that accepts writes."""
 
     def __init__(
@@ -31,7 +32,15 @@ class SeedNode:
         def register_self() -> None:
             self.tokens.put(self.node.name, 0)
 
+        self._register_self = register_self
+        self.node.attach(self)
         self.node.spawn(register_self, name="register-self")
+
+    def on_restart(self, node) -> None:
+        """Crash recovery: re-assert our own token in the ring map (the
+        gossip state other nodes sent us survives in ``tokens`` — real
+        Cassandra recovers it from the system table)."""
+        node.spawn(self._register_self, name="register-self-restart")
 
     # -- gossip ----------------------------------------------------------
 
@@ -59,7 +68,9 @@ class SeedNode:
         self.store.put(key, value)
         targets = self.tokens.keys()
         if len(targets) < self.replication:
-            self.log.error(
+            # Silent data loss is the worst failure a store can have;
+            # log it at fatal so the run counts as harmful.
+            self.log.fatal(
                 f"write {key}: only {len(targets)} replica target(s), "
                 f"need {self.replication} — backup copy lost"
             )

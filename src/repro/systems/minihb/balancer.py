@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.errors import RpcError
 from repro.runtime import sleep
 from repro.runtime.cluster import Cluster
 
@@ -38,24 +39,38 @@ class Balancer:
 
     def _balance_loop(self) -> None:
         for _round in range(self.max_rounds):
-            loads = {
-                server: self.node.rpc(server).region_count()
-                for server in self.servers
-            }
+            try:
+                # One retransmission per poll: a server mid-restart looks
+                # like a blip, not a dead cluster.
+                loads = {
+                    server: self.node.rpc(server, retries=1).region_count()
+                    for server in self.servers
+                }
+            except RpcError as exc:
+                # A server is down: skip this round rather than crash the
+                # master's balancer — regions stay put until it returns.
+                self.log.warn(f"balance round skipped: {exc}")
+                sleep(self.interval)
+                continue
             source = max(self.servers, key=lambda s: loads[s])
             target = min(self.servers, key=lambda s: loads[s])
             if loads[source] - loads[target] <= 1:
                 self.log.info(f"balanced: {loads}")
                 return
-            region = self.node.rpc(source).pick_region()
-            if region is None:
-                return
-            self.node.rpc(source).close_region(region)
-            # Register the transition before reopening, like the split
-            # path: the region-state watcher treats an OPENED report
-            # without a pending transition as an inconsistency.
-            self.master.regions_in_transition.put(region, "PENDING_OPEN")
-            self.node.rpc(target).open_region(region)
+            try:
+                region = self.node.rpc(source).pick_region()
+                if region is None:
+                    return
+                self.node.rpc(source).close_region(region)
+                # Register the transition before reopening, like the split
+                # path: the region-state watcher treats an OPENED report
+                # without a pending transition as an inconsistency.
+                self.master.regions_in_transition.put(region, "PENDING_OPEN")
+                self.node.rpc(target).open_region(region)
+            except RpcError as exc:
+                self.log.warn(f"balance move abandoned: {exc}")
+                sleep(self.interval)
+                continue
             self.moves.append((region, source, target))
             self.log.info(f"moved {region}: {source} -> {target}")
             sleep(self.interval)

@@ -8,6 +8,7 @@ progress heartbeats, and reports completion.
 
 from __future__ import annotations
 
+from repro.errors import RpcError
 from repro.runtime import sleep
 from repro.runtime.cluster import Cluster
 
@@ -25,6 +26,7 @@ class NodeManager:
         poll_interval: int = 3,
         work_ticks: int = 6,
         notify_speculator: bool = False,
+        rpc_attempts: int = 2,
     ) -> None:
         self.cluster = cluster
         self.node = cluster.add_node(name)
@@ -34,6 +36,7 @@ class NodeManager:
         self.poll_interval = poll_interval
         self.work_ticks = work_ticks
         self.notify_speculator = notify_speculator
+        self.rpc_attempts = max(1, rpc_attempts)
         self.node.rpc_server.register("assign_task", self.assign_task)
 
     # -- RPC functions -------------------------------------------------------
@@ -49,20 +52,37 @@ class NodeManager:
 
     # -- container logic --------------------------------------------------------
 
+    def _am(self):
+        """AM proxy with bounded retransmissions: a crashed-and-restarting
+        AM looks like a transient transport failure, not a task failure.
+        Note the retries never change a fault-free run: the first attempt
+        is the plain call, and backoff sleeps only follow an ``RpcError``."""
+        return self.node.rpc(self.am_name, retries=self.rpc_attempts - 1)
+
     def _run_container(self, job_id: str, task_id: str) -> None:
-        # The Figure 2 polling loop: wait until the AM can hand us the
-        # task payload.  If the task is unregistered first (MR-3274),
-        # this loop never exits — the distributed hang.
-        while self.node.rpc(self.am_name).get_task(job_id, task_id) is None:
-            sleep(self.poll_interval)
-        sleep(self.work_ticks)  # execute the task
-        for _ in range(self.heartbeats):
-            self.node.rpc(self.am_name).heartbeat(job_id, task_id)
-            sleep(2)
-        self.node.rpc(self.am_name).report_done(job_id, task_id)
-        if self.notify_speculator:
-            self.node.rpc(self.am_name).attempt_done(task_id)
-        if self.final_heartbeat:
-            # A trailing progress update after completion: races with the
-            # AM's job unregistration (MR-4637).
-            self.node.rpc(self.am_name).heartbeat(job_id, task_id)
+        try:
+            # The Figure 2 polling loop: wait until the AM can hand us the
+            # task payload.  If the task is unregistered first (MR-3274),
+            # this loop never exits — the distributed hang.  (A ``None``
+            # reply is a *successful* RPC, so the retry wrapper does not
+            # mask the seeded bug.)
+            while self._am().get_task(job_id, task_id) is None:
+                sleep(self.poll_interval)
+            sleep(self.work_ticks)  # execute the task
+            for _ in range(self.heartbeats):
+                self._am().heartbeat(job_id, task_id)
+                sleep(2)
+            self._am().report_done(job_id, task_id)
+            if self.notify_speculator:
+                self._am().attempt_done(task_id)
+            if self.final_heartbeat:
+                # A trailing progress update after completion: races with
+                # the AM's job unregistration (MR-4637).
+                self._am().heartbeat(job_id, task_id)
+        except RpcError as exc:
+            # Retries exhausted: the AM is gone for good.  Abandon the
+            # attempt instead of crashing the NM — the AM re-schedules
+            # lost attempts when (if) it comes back.
+            self.node.log.warn(
+                f"container {task_id}: AM unreachable ({exc}); abandoning attempt"
+            )

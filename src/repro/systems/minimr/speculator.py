@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.errors import RpcError
 from repro.runtime import sleep
 from repro.runtime.cluster import Cluster
 
@@ -57,8 +58,16 @@ class Speculator:
                             f"speculation bookkeeping for {task_id} vanished"
                         )
                     self.attempts.put(task_id, count + 1)
-                    self.node.rpc(backup_nm).assign_task("spec", task_id)
-                    self.log.info(f"speculative attempt for {task_id}")
+                    try:
+                        self.node.rpc(backup_nm).assign_task("spec", task_id)
+                        self.log.info(f"speculative attempt for {task_id}")
+                    except RpcError as exc:
+                        # The backup NM is down: speculation is best-effort,
+                        # so degrade to the primary attempt only.
+                        self.attempts.put(task_id, count)
+                        self.log.warn(
+                            f"backup attempt for {task_id} not launched: {exc}"
+                        )
                 sleep(self.scan_interval)
 
         self.node.spawn(scanner, name=f"speculator-{task_id}")

@@ -13,11 +13,14 @@ the election never reaches quorum — the service stays unavailable.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.runtime import sleep
 from repro.runtime.cluster import Cluster
+from repro.runtime.node import NodeBehavior
 
 
-class ElectionNode:
+class ElectionNode(NodeBehavior):
     """The node running the election logic."""
 
     def __init__(
@@ -27,6 +30,7 @@ class ElectionNode:
         peers=("zk2",),
         quorum: int = 2,
         round_timeout: int = 3,
+        give_up_after: Optional[int] = None,
     ) -> None:
         self.cluster = cluster
         self.node = cluster.add_node(name)
@@ -34,15 +38,34 @@ class ElectionNode:
         self.peers = list(peers)
         self.quorum = quorum
         self.round_timeout = round_timeout
+        #: Opt-in robustness: give up (and log) after this many quorum
+        #: polls instead of waiting forever.  ``None`` keeps the faithful
+        #: ZK-1270 behavior — the election hang IS the seeded bug, so the
+        #: bounded wait must never be the default.
+        self.give_up_after = give_up_after
         self.votes = self.node.shared_dict("votes")
         self.logical_clock = self.node.shared_counter("logical_clock")
         self.leader = self.node.shared_var("leader", None)
         self.node.on_message("vote", self.on_vote)
+        self.node.attach(self)
         self.node.spawn(self.run_election, name="election-main")
 
     def on_vote(self, payload, src: str) -> None:
         """Vote notification handler (the WorkerReceiver of real ZK)."""
         self.votes.put(src, payload["vote"])
+
+    def on_restart(self, node) -> None:
+        """Crash recovery: a restarted elector starts a fresh round — it
+        re-votes for itself and re-asks every peer (real ZK re-sends its
+        notification on server restart)."""
+        round_number = self.logical_clock.get() + 1
+
+        def re_election() -> None:
+            self.votes.put(self.node.name, self.node.name)
+            for peer in self.peers:
+                self.node.send(peer, "ask_vote", {"round": round_number})
+
+        node.spawn(re_election, name="re-election")
 
     def run_election(self) -> None:
         self.votes.put(self.node.name, self.node.name)
@@ -55,13 +78,21 @@ class ElectionNode:
         self.logical_clock.increment()
         self.votes.clear()
         self.votes.put(self.node.name, self.node.name)
+        polls = 0
         while self.votes.size() < self.quorum:
+            polls += 1
+            if self.give_up_after is not None and polls > self.give_up_after:
+                self.log.warn(
+                    f"election gave up after {self.give_up_after} polls "
+                    f"({self.votes.size()}/{self.quorum} votes)"
+                )
+                return
             sleep(3)
         self.leader.set(self.node.name)
         self.log.info(f"leader elected: {self.node.name}")
 
 
-class VoterNode:
+class VoterNode(NodeBehavior):
     """A peer that answers a vote request exactly once."""
 
     def __init__(
@@ -75,6 +106,12 @@ class VoterNode:
         self.think_ticks = think_ticks
         self.answered = self.node.shared_var("answered", False)
         self.node.on_message("ask_vote", self.on_ask_vote)
+        self.node.attach(self)
+
+    def on_restart(self, node) -> None:
+        """Crash recovery: a restarted voter forgot it ever answered, so
+        the next ``ask_vote`` gets a fresh notification."""
+        self.answered.set(False)
 
     def on_ask_vote(self, payload, src: str) -> None:
         with self.node.lock("vote-state"):

@@ -81,10 +81,12 @@ class SelectiveScope(TracingScope):
 
 
 class _CommCallFinder(ast.NodeVisitor):
-    """Does this function body contain a communication call?"""
+    """Does this function body contain a communication call — and which
+    other functions does it invoke (for the call-graph closure)?"""
 
     def __init__(self) -> None:
         self.found = False
+        self.called: Set[str] = set()
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
@@ -94,8 +96,13 @@ class _CommCallFinder(ast.NodeVisitor):
                 self.found = True
             elif name in ZK_ONLY_CALL_NAMES and _receiver_is_zk(func.value):
                 self.found = True
-        elif isinstance(func, ast.Name) and func.id in COMM_CALL_NAMES:
-            self.found = True
+            else:
+                self.called.add(name)
+        elif isinstance(func, ast.Name):
+            if func.id in COMM_CALL_NAMES:
+                self.found = True
+            else:
+                self.called.add(func.id)
         self.generic_visit(node)
 
 
@@ -104,30 +111,62 @@ def _receiver_is_zk(value: ast.expr) -> bool:
     return any(hint in text for hint in ZK_RECEIVER_HINTS)
 
 
-def find_comm_functions_in_source(source: str) -> Set[str]:
-    """Names of functions in ``source`` that conduct communication."""
+def _scan_source(source: str) -> "tuple[Set[str], dict]":
+    """One source file: (directly-communicating functions, call edges)."""
     tree = ast.parse(source)
-    result: Set[str] = set()
+    direct: Set[str] = set()
+    calls: dict = {}
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             finder = _CommCallFinder()
             for stmt in node.body:
                 finder.visit(stmt)
             if finder.found:
-                result.add(node.name)
+                direct.add(node.name)
+            calls.setdefault(node.name, set()).update(finder.called)
+    return direct, calls
+
+
+def _closure(direct: Set[str], calls: dict) -> Set[str]:
+    """Interprocedural step (the WALA analog is a call-graph walk): a
+    function that calls a communicating function conducts communication
+    itself — ``_run_container`` stays a comm function after its RPCs
+    move behind an ``_am()`` retry helper."""
+    result = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for func, callees in calls.items():
+            if func not in result and callees & result:
+                result.add(func)
+                changed = True
     return result
 
 
+def find_comm_functions_in_source(source: str) -> Set[str]:
+    """Names of functions in ``source`` that conduct communication."""
+    direct, calls = _scan_source(source)
+    return _closure(direct, calls)
+
+
 def find_comm_functions(modules: Iterable[ModuleType]) -> Set[str]:
-    """Static pre-pass over system-under-test modules (the WALA analog)."""
-    result: Set[str] = set()
+    """Static pre-pass over system-under-test modules (the WALA analog).
+
+    The closure runs over all modules together, so a helper defined in
+    one module propagates to its callers in another.
+    """
+    direct: Set[str] = set()
+    calls: dict = {}
     for module in modules:
         try:
             source = inspect.getsource(module)
         except (OSError, TypeError):
             continue
-        result |= find_comm_functions_in_source(source)
-    return result
+        module_direct, module_calls = _scan_source(source)
+        direct |= module_direct
+        for func, callees in module_calls.items():
+            calls.setdefault(func, set()).update(callees)
+    return _closure(direct, calls)
 
 
 def selective_scope_for(modules: Iterable[ModuleType]) -> SelectiveScope:

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.detect.report import BugReport, ReportSet, Verdict
 from repro.runtime.cluster import Cluster, RunResult
+from repro.runtime.failures import FailureEvent, FailureKind, FailureLog
 from repro.trigger.controller import OrderController
 from repro.trigger.gates import GateSpec, TriggerInterceptor
 from repro.trigger.placement import GatePlan
@@ -37,6 +38,9 @@ class TriggerRun:
     enforced: bool
     co_occurred: bool
     result: RunResult
+    #: Non-None when the re-execution itself blew up (factory error,
+    #: substrate bug): the run is recorded, never propagated.
+    error: Optional[str] = None
 
     @property
     def failed(self) -> bool:
@@ -48,7 +52,8 @@ class TriggerRun:
         )
         kinds = ",".join(sorted({k.value for k in self.result.failure_kinds()}))
         fail = f" FAILURES[{kinds}]" if kinds else ""
-        return f"{self.order[0]}->{self.order[1]} seed={self.seed}: {status}{fail}"
+        err = f" ERROR[{self.error}]" if self.error else ""
+        return f"{self.order[0]}->{self.order[1]} seed={self.seed}: {status}{fail}{err}"
 
 
 @dataclass
@@ -179,19 +184,57 @@ class TriggerModule:
     def _run_once(
         self, order: Tuple[str, str], seed: int, gates: Dict[str, GateSpec]
     ) -> TriggerRun:
-        cluster = self.factory(seed)
+        """One controlled re-execution, isolated from the caller.
+
+        ``cluster.run()`` already converts modeled deadlocks and hangs
+        into failure events on a normal ``RunResult``.  Anything else that
+        escapes (a factory error, a substrate bug) is captured as this
+        run's ``error`` — never propagated, so one broken re-execution
+        cannot take down the whole validation pass.
+        """
         controller = OrderController(order)
-        fresh_gates = {
-            party: GateSpec(
-                site=spec.site,
-                kinds=spec.kinds,
-                instance=spec.instance,
-                note=spec.note,
+        try:
+            cluster = self.factory(seed)
+            fresh_gates = {
+                party: GateSpec(
+                    site=spec.site,
+                    kinds=spec.kinds,
+                    instance=spec.instance,
+                    note=spec.note,
+                )
+                for party, spec in gates.items()
+            }
+            TriggerInterceptor(controller, fresh_gates).bind(cluster)
+            result = cluster.run()
+        except Exception as exc:  # noqa: BLE001 - isolate the re-run
+            failures = FailureLog()
+            failures.record(
+                FailureEvent(
+                    kind=FailureKind.UNCAUGHT,
+                    node="<trigger>",
+                    thread="<explorer>",
+                    message=f"{type(exc).__name__}: {exc}",
+                    step=0,
+                )
             )
-            for party, spec in gates.items()
-        }
-        TriggerInterceptor(controller, fresh_gates).bind(cluster)
-        result = cluster.run()
+            result = RunResult(
+                name=f"trigger-{order[0]}{order[1]}-s{seed}",
+                seed=seed,
+                steps=0,
+                clock=0,
+                completed=False,
+                failures=failures,
+                wall_seconds=0.0,
+                ops=0,
+            )
+            return TriggerRun(
+                order=order,
+                seed=seed,
+                enforced=False,
+                co_occurred=False,
+                result=result,
+                error=f"{type(exc).__name__}: {exc}",
+            )
         return TriggerRun(
             order=order,
             seed=seed,

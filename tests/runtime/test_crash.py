@@ -13,6 +13,9 @@ def test_messages_to_crashed_node_are_dropped():
 
     def sender():
         a.send("b", "n", 1)
+        # Let b's dispatch thread drain the first message before the
+        # crash: a crashing node loses whatever is still in its inbox.
+        sleep(2)
         b.crash()
         a.send("b", "n", 2)
 

@@ -111,3 +111,90 @@ def test_dcbug_detection_with_flaky_network():
     assert result.completed
     detection = detect_races(tracer.trace)
     assert any("tokens" in c.variable for c in detection.candidates)
+
+
+def test_one_way_partition_blocks_only_forward_direction():
+    network = FlakyNetwork(seed=0)
+    network.partition_one_way(["a"], ["b"])
+    cluster, a, b = _two_nodes(network=network)
+    got = []
+    a.on_message("n", lambda p, s: got.append(("a", p)))
+    b.on_message("n", lambda p, s: got.append(("b", p)))
+    a.spawn(lambda: a.send("b", "n", 1), name="sa")
+    b.spawn(lambda: b.send("a", "n", 2), name="sb")
+    cluster.run()
+    # a -> b is black-holed; b -> a still flows (half-open partition).
+    assert got == [("a", 2)]
+    assert network.is_partitioned("a", "b")
+    assert not network.is_partitioned("b", "a")
+
+
+def test_selective_heal_leaves_other_partitions_cut():
+    network = FlakyNetwork(seed=0)
+    network.partition(["a"], ["b"])
+    network.partition(["a"], ["c"])
+    network.heal(["a"], ["b"])
+    cluster = Cluster(seed=0)
+    cluster.set_network(network)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    c = cluster.add_node("c")
+    got = []
+    b.on_message("n", lambda p, s: got.append(("b", p)))
+    c.on_message("n", lambda p, s: got.append(("c", p)))
+
+    def sender():
+        a.send("b", "n", 1)
+        a.send("c", "n", 2)
+
+    a.spawn(sender, name="s")
+    cluster.run()
+    assert got == [("b", 1)]  # a|b healed, a|c still cut
+    assert network.is_partitioned("a", "c")
+
+
+def test_selective_heal_requires_both_groups():
+    network = FlakyNetwork(seed=0)
+    try:
+        network.heal(["a"], None)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError for one-group heal")
+
+
+def test_duplicated_messages_deliver_extra_copy():
+    cluster, a, b = _two_nodes(
+        network=FlakyNetwork(seed=1, duplicate_probability=1.0)
+    )
+    got = []
+    b.on_message("n", lambda p, s: got.append(p))
+    a.spawn(lambda: a.send("b", "n", 5), name="s")
+    result = cluster.run()
+    assert result.completed
+    assert got == [5, 5]
+
+
+def test_duplication_is_seed_deterministic():
+    def deliveries(seed):
+        cluster, a, b = _two_nodes(
+            seed=seed, network=FlakyNetwork(seed=seed, duplicate_probability=0.5)
+        )
+        got = []
+        b.on_message("n", lambda p, s: got.append(p))
+        a.spawn(lambda: [a.send("b", "n", i) for i in range(8)], name="s")
+        assert cluster.run().completed
+        return got
+
+    assert deliveries(4) == deliveries(4)
+
+
+def test_flaky_network_validates_parameters():
+    import pytest
+
+    with pytest.raises(ValueError):
+        FlakyNetwork(max_delay=-1)
+    with pytest.raises(ValueError):
+        FlakyNetwork(drop_probability=1.5)
+    with pytest.raises(ValueError):
+        FlakyNetwork(duplicate_probability=-0.1)

@@ -1,0 +1,276 @@
+"""RPC timeouts, bounded retries, deterministic backoff, HB soundness."""
+
+import pytest
+
+from repro.errors import RpcError, RpcTimeout, SimAbort
+from repro.runtime import Cluster, OpKind, sleep
+from repro.runtime.rpc import call_with_retry
+from repro.trace import FullScope, Tracer
+from repro.trace.records import dump_records
+
+
+def _traced_cluster(seed=0):
+    cluster = Cluster(seed=seed)
+    tracer = Tracer(scope=FullScope())
+    tracer.bind(cluster)
+    return cluster, tracer
+
+
+def test_rpc_timeout_raises_and_emits_no_join():
+    cluster, tracer = _traced_cluster()
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+
+    def slow():
+        sleep(100)
+        return "late"
+
+    b.rpc_server.register("slow", slow)
+    outcomes = []
+
+    def caller():
+        try:
+            a.rpc("b", timeout=10).slow()
+        except RpcTimeout:
+            outcomes.append("timeout")
+
+    a.spawn(caller, name="caller")
+    result = cluster.run()
+    assert result.completed
+    assert outcomes == ["timeout"]
+
+    creates = tracer.trace.of_kind(OpKind.RPC_CREATE)
+    joins = tracer.trace.of_kind(OpKind.RPC_JOIN)
+    slow_tags = {r.obj_id for r in creates if r.extra.get("method") == "slow"}
+    assert slow_tags
+    # The caller gave up: the abandoned call has no Join record, so
+    # Rule-Mrpc never orders the server's End before caller code.
+    assert not [j for j in joins if j.obj_id in slow_tags]
+
+
+def test_timed_out_request_is_skipped_by_server():
+    cluster = Cluster(seed=0)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    handled = []
+    started = []
+
+    def busy():
+        started.append(1)
+        sleep(60)
+        return "done"
+
+    b.rpc_server.register("busy", busy)
+    b.rpc_server.register("probe", lambda: handled.append("probe") or "ok")
+
+    def caller():
+        a.rpc("b").busy()  # occupies the single handler thread
+
+    def impatient():
+        while not started:  # wait until `busy` holds the handler
+            sleep(1)
+        try:
+            # Queued behind `busy`; abandoned before the server gets to it.
+            a.rpc("b", timeout=5).probe()
+        except RpcTimeout:
+            pass
+        sleep(80)
+
+    a.spawn(caller, name="caller")
+    a.spawn(impatient, name="impatient")
+    result = cluster.run()
+    assert result.completed
+    assert handled == []  # the abandoned request never ran
+
+
+def test_retry_succeeds_after_restart():
+    """A retry loop rides out a crash/restart window."""
+    cluster = Cluster(seed=0)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    b.rpc_server.register("ping", lambda: "pong")
+    outcomes = []
+
+    def chaos():
+        sleep(2)
+        b.crash()
+        sleep(30)
+        b.restart()
+
+    def caller():
+        sleep(5)  # call lands in the crash window
+        outcomes.append(
+            call_with_retry(a, "b", "ping", attempts=6, backoff_base=8)
+        )
+
+    a.spawn(caller, name="caller")
+    a.spawn(chaos, name="chaos")
+    result = cluster.run()
+    assert result.completed
+    assert outcomes == ["pong"]
+
+
+def test_retry_exhaustion_raises_last_error():
+    cluster = Cluster(seed=0)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    b.rpc_server.register("ping", lambda: "pong")
+    outcomes = []
+
+    def chaos():
+        b.crash()
+
+    def caller():
+        sleep(3)
+        try:
+            call_with_retry(a, "b", "ping", attempts=3)
+        except RpcError as exc:
+            outcomes.append(str(exc))
+
+    a.spawn(chaos, name="chaos")
+    a.spawn(caller, name="caller")
+    result = cluster.run()
+    assert result.completed
+    assert outcomes and "crashed" in outcomes[0]
+
+
+def test_retry_never_retries_application_failures():
+    """A handler's SimFailure is a remote exception, not a transport
+    blip: it must propagate on the first attempt."""
+    cluster = Cluster(seed=0)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    attempts = []
+
+    def fragile():
+        attempts.append(1)
+        raise SimAbort("application said no")
+
+    b.rpc_server.register("fragile", fragile)
+    outcomes = []
+
+    def caller():
+        try:
+            call_with_retry(a, "b", "fragile", attempts=4)
+        except SimAbort:
+            outcomes.append("aborted")
+
+    a.spawn(caller, name="caller")
+    cluster.run()
+    assert outcomes == ["aborted"]
+    assert len(attempts) == 1
+
+
+def test_retried_attempts_use_fresh_tags():
+    cluster, tracer = _traced_cluster()
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    calls = []
+
+    def ping():
+        if not calls:
+            calls.append(1)
+            sleep(50)  # the first call outlives the caller's patience
+        return "pong"
+
+    b.rpc_server.register("ping", ping)
+    results = []
+
+    def caller():
+        results.append(
+            call_with_retry(
+                a, "b", "ping", attempts=3, timeout=10, backoff_base=64
+            )
+        )
+
+    a.spawn(caller, name="caller")
+    result = cluster.run()
+    assert result.completed
+    assert results == ["pong"]
+
+    creates = [
+        r
+        for r in tracer.trace.of_kind(OpKind.RPC_CREATE)
+        if r.extra.get("method") == "ping"
+    ]
+    assert len(creates) == 2  # the timed-out attempt + the success
+    assert len({r.obj_id for r in creates}) == len(creates)  # all fresh tags
+    # Failed attempts are annotated; the first attempt carries no marker.
+    attempts = [r.extra.get("attempt", 0) for r in creates]
+    assert attempts == sorted(attempts)
+    # Only the successful attempt has a Join.
+    joins = [
+        r
+        for r in tracer.trace.of_kind(OpKind.RPC_JOIN)
+        if r.obj_id in {c.obj_id for c in creates}
+    ]
+    assert len(joins) == 1
+
+
+def test_backoff_schedule_is_deterministic():
+    def run_once():
+        cluster, tracer = _traced_cluster(seed=3)
+        a = cluster.add_node("a")
+        b = cluster.add_node("b")
+        b.rpc_server.register("ping", lambda: "pong")
+
+        def chaos():
+            sleep(2)
+            b.crash()
+            sleep(40)
+            b.restart()
+
+        def caller():
+            sleep(4)
+            call_with_retry(a, "b", "ping", attempts=8, backoff_base=2)
+
+        a.spawn(chaos, name="chaos")
+        a.spawn(caller, name="caller")
+        assert cluster.run().completed
+        return dump_records(tracer.trace.records)
+
+    assert run_once() == run_once()
+
+
+def test_call_with_retry_validates_attempts():
+    cluster = Cluster(seed=0)
+    a = cluster.add_node("a")
+    failures = []
+
+    def caller():
+        from repro.errors import ReproError
+
+        try:
+            call_with_retry(a, "a", "x", attempts=0)
+        except ReproError:
+            failures.append("rejected")
+
+    a.spawn(caller, name="caller")
+    cluster.run()
+    assert failures == ["rejected"]
+
+
+def test_timeout_fires_when_cluster_is_otherwise_idle():
+    """The TimeoutRegistry wake hint: a blocked caller with a deadline
+    must not be declared a deadlock — the clock jumps to the deadline."""
+    cluster = Cluster(seed=0)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+
+    def wedge():
+        sleep(10_000)  # the handler outlives everyone
+        return None
+
+    b.rpc_server.register("wedge", wedge)
+    outcomes = []
+
+    def caller():
+        try:
+            a.rpc("b", timeout=50).wedge()
+        except RpcTimeout:
+            outcomes.append("timeout")
+
+    a.spawn(caller, name="caller")
+    result = cluster.run()
+    assert result.completed
+    assert outcomes == ["timeout"]

@@ -74,3 +74,23 @@ def test_selective_scope_uses_dynamic_extent():
     )
     # helper itself is not a comm function, but it is called from one.
     assert scope.should_trace_mem(event)
+
+
+def test_helper_indirection_marks_caller():
+    """Call-graph closure: a function communicating only through a
+    helper (the retry-proxy pattern) is still a comm function."""
+    source = (
+        "def _am(node):\n"
+        "    return node.rpc('am')\n"
+        "\n"
+        "def poll(node):\n"
+        "    while _am(node).get_task() is None:\n"
+        "        pass\n"
+        "\n"
+        "def unrelated(x):\n"
+        "    return x + 1\n"
+    )
+    funcs = find_comm_functions_in_source(source)
+    assert "_am" in funcs
+    assert "poll" in funcs
+    assert "unrelated" not in funcs

@@ -161,3 +161,62 @@ def test_shared_site_gates_count_independently():
     assert controller.enforced, controller.log
     # The gated-second write (instance 1) ran before instance 0.
     assert len(order) == 2
+
+
+def test_idle_release_rescues_lone_party_end_to_end():
+    """Safety valve, full scheduler loop: party A is held at its gate and
+    party B never exists.  Without the idle hook this run would end in a
+    hang verdict; with it the run completes, marked not-enforced."""
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    controller = OrderController(("B", "A"))  # B first — but B never comes
+    cluster.scheduler.on_idle(controller.on_idle)
+    progressed = []
+
+    def party_a():
+        controller.request("A", current_sim_thread())
+        progressed.append("A")
+        controller.confirm("A")
+
+    node.spawn(party_a, name="a")
+    result = cluster.run()
+    assert result.completed, result.failures.events
+    assert progressed == ["A"]  # released, not deadlocked
+    assert controller.released_by_idle == {"A"}
+    assert not controller.enforced
+    assert not controller.co_occurred
+
+
+def test_idle_release_rescues_party_blocked_behind_held_one():
+    """The circular case from the controller docstring: B's gate is
+    downstream of A's gated operation, so holding A (waiting for B)
+    stalls the whole run until the idle hook breaks the cycle."""
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    controller = OrderController(("B", "A"))
+    cluster.scheduler.on_idle(controller.on_idle)
+    flag = node.shared_var("flag", 0)
+    order = []
+
+    def party_a():
+        controller.request("A", current_sim_thread())
+        order.append("A")
+        flag.set(1)  # B waits for this — behind A's gate
+        controller.confirm("A")
+
+    def party_b():
+        current_sim_thread().block_until(
+            lambda: flag.get() == 1, "wait-flag"
+        )
+        controller.request("B", current_sim_thread())
+        order.append("B")
+        controller.confirm("B")
+
+    node.spawn(party_a, name="a")
+    node.spawn(party_b, name="b")
+    result = cluster.run()
+    assert result.completed, result.failures.events
+    assert order == ["A", "B"]  # both ran — in the order we could NOT flip
+    assert "A" in controller.released_by_idle
+    assert controller.co_occurred  # B did reach its gate eventually
+    assert not controller.enforced  # ... but the order was not enforced

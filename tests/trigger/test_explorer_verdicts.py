@@ -25,7 +25,7 @@ def build_two_phase(cluster):
         slots.get("a")
         sleep(5)
         if slots.get("b") is None:
-            node.log.error("slot b vanished")
+            node.log.fatal("slot b vanished")
 
     def seeder():
         slots.put("b", 1)

@@ -18,7 +18,7 @@ def build_simple_race(cluster):
         sleep(10)
         value = var.get()
         if value is None:
-            node.log.error("flag missing")
+            node.log.fatal("flag missing")
 
     node.spawn(early, name="e")
     node.spawn(late, name="l")
@@ -64,7 +64,7 @@ def build_narrow_window_race(cluster):
         if jmap.contains("k"):
             value = jmap.get("k")
             if value is None:
-                node.log.error("entry vanished mid-handler")
+                node.log.fatal("entry vanished mid-handler")
 
     q.register("check", check_act)
 

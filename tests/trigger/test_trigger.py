@@ -30,7 +30,7 @@ def build_harmful_kv(cluster):
         sleep(5)
         value = jmap.get("j")
         if value is None:
-            node.log.error("task vanished")
+            node.log.fatal("task vanished")
 
     node.spawn(seed_then_remove, name="rm")
     node.spawn(getter, name="get")
