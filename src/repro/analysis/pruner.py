@@ -94,10 +94,19 @@ class StaticPruner:
     def apply(self, reports: ReportSet) -> PruneResult:
         import time
 
+        from repro import obs
+
         started = time.perf_counter()
-        decisions = [self.assess(report) for report in reports]
+        with obs.span("prune.apply", reports=len(reports)):
+            decisions = [self.assess(report) for report in reports]
         kept = ReportSet([d.report for d in decisions if d.keep])
         pruned = ReportSet([d.report for d in decisions if not d.keep])
+        obs.counter("prune_kept_total", "reports surviving static pruning").inc(
+            len(kept)
+        )
+        obs.counter("prune_dropped_total", "reports pruned as impact-free").inc(
+            len(pruned)
+        )
         return PruneResult(
             kept=kept,
             pruned=pruned,

@@ -10,7 +10,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Optional, Tuple
+
+#: Where ``write_bench_json`` puts its artifact by default.
+REPO_ROOT = Path(__file__).resolve().parents[3]
+BENCH_JSON_PATH = REPO_ROOT / "BENCH_pipeline.json"
+
+#: One representative benchmark per mini system, Table 3 order.
+BENCH_REPRESENTATIVES = ("CA-1011", "HB-4539", "MR-3274", "ZK-1144")
 
 from repro.detect.races import DetectionResult, detect_races
 from repro.detect.report import ReportSet
@@ -136,3 +144,93 @@ CACHE = BenchCache()
 
 def all_bug_ids():
     return [w.info.bug_id for w in all_workloads()]
+
+
+# -- machine-readable pipeline benchmark ------------------------------------------
+
+
+def _bench_one(bug_id: str) -> Dict[str, object]:
+    """Per-stage wall/CPU time plus trace size for one benchmark."""
+    from repro import obs
+    from repro.trace.stats import compute_stats
+
+    workload = workload_by_id(bug_id)
+    registry = obs.MetricsRegistry(name=bug_id)
+    tracer = obs.SpanTracer(name=bug_id)
+    with obs.use_registry(registry), obs.use_tracer(tracer):
+        result = DCatch(workload, PipelineConfig()).run()
+
+    stages: Dict[str, Dict[str, float]] = {}
+    for span in tracer.roots():
+        if not span.name.startswith("pipeline."):
+            continue
+        stage = span.name.split(".", 1)[1]
+        stages[stage] = {
+            "wall_seconds": round(span.wall_seconds, 6),
+            "cpu_seconds": round(span.cpu_seconds, 6),
+        }
+    stats = compute_stats(result.trace)
+    return {
+        "bug_id": bug_id,
+        "system": workload.info.system,
+        "stages": stages,
+        "trace": {
+            "records": stats.total,
+            "size_bytes": stats.size_bytes,
+            "records_by_category": dict(sorted(stats.categories.items())),
+            "bytes_by_category": dict(sorted(stats.bytes_by_category.items())),
+        },
+        "reports": len(result.reports) if result.reports is not None else 0,
+    }
+
+
+def bench_pipeline_data(bug_ids=BENCH_REPRESENTATIVES) -> Dict[str, object]:
+    """The ``BENCH_pipeline.json`` document: one entry per mini system."""
+    import platform
+    import sys
+
+    return {
+        "format": "repro-bench-pipeline",
+        "version": 1,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "benchmarks": [_bench_one(bug_id) for bug_id in bug_ids],
+    }
+
+
+def write_bench_json(path=BENCH_JSON_PATH, bug_ids=BENCH_REPRESENTATIVES) -> Path:
+    import json
+
+    path = Path(path)
+    document = bench_pipeline_data(bug_ids)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.runner",
+        description="run one pipeline per mini system and write "
+        "BENCH_pipeline.json",
+    )
+    parser.add_argument(
+        "--out", default=str(BENCH_JSON_PATH), help="output path"
+    )
+    parser.add_argument(
+        "--bugs",
+        nargs="*",
+        default=list(BENCH_REPRESENTATIVES),
+        help="benchmark ids to time",
+    )
+    args = parser.parse_args(argv)
+    path = write_bench_json(args.out, args.bugs)
+    print(f"bench results written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

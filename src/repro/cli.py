@@ -5,9 +5,16 @@ Subcommands::
     dcatch list                     # the benchmark inventory (Table 3)
     dcatch run MR-3274              # full pipeline on one benchmark
     dcatch run MR-3274 --no-trigger # detection + pruning only
+    dcatch run minimr 3274          # same, system + workload spelling
     dcatch table table4             # regenerate one evaluation table
     dcatch table all                # regenerate everything
     dcatch trace ZK-1144 --out DIR  # save the monitored run's trace files
+    dcatch trace ZK-1144 --stats    # per-category trace statistics
+    dcatch profile minimr 3274      # per-stage span table + exports
+    dcatch metrics ZK-1144          # metrics registry after one run
+
+Unknown benchmark/system/workload names exit with status 2 and a
+one-line error on stderr instead of a traceback.
 """
 
 from __future__ import annotations
@@ -15,6 +22,15 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+from repro.errors import UnknownBenchmarkError
+
+
+def _resolve(args: argparse.Namespace):
+    """Resolve ``<bug-id>`` or ``<system> <workload>`` to a workload."""
+    from repro.systems import resolve_workload
+
+    return resolve_workload(args.target, getattr(args, "workload", None))
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -40,9 +56,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.pipeline import DCatch, PipelineConfig
-    from repro.systems import workload_by_id
 
-    workload = workload_by_id(args.bug_id)
+    workload = _resolve(args)
     config = PipelineConfig(
         scope="full" if args.full_scope else "selective",
         trigger=not args.no_trigger,
@@ -131,19 +146,73 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.systems import workload_by_id
-    from repro.trace import Tracer, selective_scope_for
+    from repro.trace import Tracer, compute_stats, selective_scope_for
 
     workload = workload_by_id(args.bug_id)
     cluster = workload.cluster(args.seed)
     tracer = Tracer(scope=selective_scope_for(workload.modules()))
     tracer.bind(cluster)
     result = cluster.run()
-    tracer.trace.save(args.out)
     print(result.summary())
-    print(
-        f"saved {len(tracer.trace)} records "
-        f"({len(tracer.trace.per_thread)} thread files) to {args.out}"
+    if args.stats:
+        print()
+        print(compute_stats(tracer.trace).render())
+    if args.out:
+        tracer.trace.save(args.out)
+        print(
+            f"saved {len(tracer.trace)} records "
+            f"({len(tracer.trace.per_thread)} thread files) to {args.out}"
+        )
+    return 0
+
+
+def _run_profiled(args: argparse.Namespace):
+    """Run the pipeline with fresh observability objects installed."""
+    from repro import obs
+    from repro.pipeline import DCatch, PipelineConfig
+
+    workload = _resolve(args)
+    registry = obs.MetricsRegistry(name=workload.info.bug_id)
+    tracer = obs.SpanTracer(name=workload.info.bug_id)
+    config = PipelineConfig(
+        trigger=not args.no_trigger, monitored_seed=args.seed
     )
+    with obs.use_registry(registry), obs.use_tracer(tracer):
+        result = DCatch(workload, config).run()
+    return result, registry, tracer
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        profile_to_json,
+        render_span_table,
+        write_chrome_trace,
+        write_json,
+    )
+
+    result, registry, tracer = _run_profiled(args)
+    print(result.summary())
+    print()
+    print(render_span_table(tracer))
+    if args.out:
+        write_json(args.out, profile_to_json(tracer, registry))
+        print(f"profile written to {args.out}")
+    if args.chrome:
+        write_chrome_trace(args.chrome, tracer)
+        print(f"chrome trace written to {args.chrome} (load in chrome://tracing)")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import registry_to_json, render_prometheus
+
+    _result, registry, _tracer = _run_profiled(args)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(registry_to_json(registry), indent=2, sort_keys=True))
+    else:
+        print(render_prometheus(registry), end="")
     return 0
 
 
@@ -160,7 +229,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     run = sub.add_parser("run", help="run the DCatch pipeline on a benchmark")
-    run.add_argument("bug_id", help="benchmark id, e.g. MR-3274")
+    run.add_argument(
+        "target", help="benchmark id (MR-3274) or system alias (minimr)"
+    )
+    run.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="workload within the system, e.g. 3274 (with a system alias)",
+    )
     run.add_argument("--seed", type=int, default=None, help="monitored-run seed")
     run.add_argument(
         "--no-trigger", action="store_true", help="skip the triggering stage"
@@ -205,14 +282,70 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("bug_id")
     trace.add_argument("--seed", type=int, default=None)
     trace.add_argument("--out", default="./dcatch-trace")
+    trace.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-category record counts and byte sizes",
+    )
     trace.set_defaults(fn=_cmd_trace)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run the pipeline with spans enabled and print the stage table",
+    )
+    profile.add_argument(
+        "target", help="benchmark id (MR-3274) or system alias (minimr)"
+    )
+    profile.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="workload within the system, e.g. 3274 (with a system alias)",
+    )
+    profile.add_argument("--seed", type=int, default=None)
+    profile.add_argument(
+        "--no-trigger", action="store_true", help="skip the triggering stage"
+    )
+    profile.add_argument(
+        "--out", default=None, metavar="PATH", help="write the profile as JSON"
+    )
+    profile.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help="write a chrome://tracing trace-event file",
+    )
+    profile.set_defaults(fn=_cmd_profile)
+
+    metrics = sub.add_parser(
+        "metrics", help="run the pipeline and dump the metrics registry"
+    )
+    metrics.add_argument(
+        "target", help="benchmark id (MR-3274) or system alias (minimr)"
+    )
+    metrics.add_argument("workload", nargs="?", default=None)
+    metrics.add_argument("--seed", type=int, default=None)
+    metrics.add_argument(
+        "--no-trigger", action="store_true", help="skip the triggering stage"
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="Prometheus text exposition (default) or JSON",
+    )
+    metrics.set_defaults(fn=_cmd_metrics)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except UnknownBenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.detect.races import Candidate, DetectionResult, detect_races
 from repro.errors import TraceAnalysisOOM
 from repro.hb.graph import DEFAULT_MEMORY_BUDGET, HBGraph
@@ -85,20 +86,24 @@ def detect_races_chunked(
     seen: Dict[tuple, Candidate] = {}
     per_chunk: List[int] = []
     chunks = chunk_trace(trace, chunk_size, overlap)
-    for chunk in chunks:
-        graph = HBGraph(
-            chunk,
-            model=model,
-            memory_budget=memory_budget,
-            compress_mem=compress_mem,
-        )
-        detection = detect_races(
-            chunk, model=model, memory_budget=memory_budget, graph=graph
-        )
-        per_chunk.append(len(detection.candidates))
-        for candidate in detection.candidates:
-            key = (candidate.first.seq, candidate.second.seq)
-            seen.setdefault(key, candidate)
+    with obs.span("detect.chunked", chunks=len(chunks), chunk_size=chunk_size):
+        for chunk in chunks:
+            obs.counter(
+                "detect_chunks_total", "trace chunks analyzed independently"
+            ).inc()
+            graph = HBGraph(
+                chunk,
+                model=model,
+                memory_budget=memory_budget,
+                compress_mem=compress_mem,
+            )
+            detection = detect_races(
+                chunk, model=model, memory_budget=memory_budget, graph=graph
+            )
+            per_chunk.append(len(detection.candidates))
+            for candidate in detection.candidates:
+                key = (candidate.first.seq, candidate.second.seq)
+                seen.setdefault(key, candidate)
     return ChunkedDetectionResult(
         trace=trace,
         chunk_size=chunk_size,

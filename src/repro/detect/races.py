@@ -14,6 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.hb.graph import DEFAULT_MEMORY_BUDGET, HBGraph
 from repro.hb.model import FULL_MODEL, HBModel
 from repro.ids import CallStack, Site
@@ -105,26 +106,33 @@ def detect_races(
 
     candidates: List[Candidate] = []
     examined = 0
-    for location, accesses in by_location.items():
-        writes = [a for a in accesses if a.kind is OpKind.MEM_WRITE]
-        if not writes:
-            continue
-        pairs = 0
-        for i, a in enumerate(accesses):
-            for b in accesses[i + 1:]:
-                if a.kind is OpKind.MEM_READ and b.kind is OpKind.MEM_READ:
-                    continue
-                if a.segment == b.segment:
-                    continue  # program order covers these
-                pairs += 1
+    with obs.span("detect.enumerate", locations=len(by_location)):
+        for location, accesses in by_location.items():
+            writes = [a for a in accesses if a.kind is OpKind.MEM_WRITE]
+            if not writes:
+                continue
+            pairs = 0
+            for i, a in enumerate(accesses):
+                for b in accesses[i + 1:]:
+                    if a.kind is OpKind.MEM_READ and b.kind is OpKind.MEM_READ:
+                        continue
+                    if a.segment == b.segment:
+                        continue  # program order covers these
+                    pairs += 1
+                    if pairs > max_pairs_per_location:
+                        break
+                    if graph.concurrent(a, b):
+                        candidates.append(Candidate(a, b))
                 if pairs > max_pairs_per_location:
                     break
-                if graph.concurrent(a, b):
-                    candidates.append(Candidate(a, b))
-            if pairs > max_pairs_per_location:
-                break
-        examined += pairs
+            examined += pairs
 
+    obs.counter("detect_pairs_examined_total", "access pairs HB-checked").inc(
+        examined
+    )
+    obs.counter(
+        "detect_candidates_total", "concurrent conflicting pairs found"
+    ).inc(len(candidates))
     elapsed = time.perf_counter() - started
     return DetectionResult(
         trace=trace,

@@ -19,6 +19,18 @@ class ReproError(Exception):
     """Base class for errors raised by the library itself."""
 
 
+class UnknownBenchmarkError(ReproError, KeyError):
+    """A benchmark/system/workload name did not resolve.
+
+    Derives from ``KeyError`` for backwards compatibility with callers
+    that caught the registry's original exception; the CLI catches it to
+    exit with a one-line error instead of a traceback.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
+
+
 class SchedulerError(ReproError):
     """The cooperative scheduler reached an inconsistent internal state."""
 

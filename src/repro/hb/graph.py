@@ -30,6 +30,7 @@ import bisect
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.errors import TraceAnalysisOOM
 from repro.hb.model import FULL_MODEL, HBModel
 from repro.hb.pull import PullEdge, infer_pull_edges
@@ -63,47 +64,71 @@ class HBGraph:
         self.compress_mem = compress_mem
         self.edge_counts: Dict[str, int] = defaultdict(int)
 
-        # -- segment structure -------------------------------------------------
-        self._segments: Dict[int, List[OpEvent]] = defaultdict(list)
-        self._position: Dict[int, Tuple[int, int]] = {}  # seq -> (segment, pos)
-        for record in trace.records:
-            seg = self._segments[record.segment]
-            self._position[record.seq] = (record.segment, len(seg))
-            seg.append(record)
+        with obs.span("hb.build", records=len(trace)):
+            # -- segment structure ---------------------------------------------
+            self._segments: Dict[int, List[OpEvent]] = defaultdict(list)
+            self._position: Dict[int, Tuple[int, int]] = {}  # seq -> (segment, pos)
+            for record in trace.records:
+                seg = self._segments[record.segment]
+                self._position[record.seq] = (record.segment, len(seg))
+                seg.append(record)
 
-        # -- Rule-Mpull evidence (endpoints must become backbone) --------------
-        self.pull_edges: List[PullEdge] = (
-            infer_pull_edges(trace) if model.pull else []
-        )
-        pull_endpoints: Set[int] = set()
-        for edge in self.pull_edges:
-            pull_endpoints.add(edge.write_seq)
-            pull_endpoints.add(edge.read_seq)
+            # -- Rule-Mpull evidence (endpoints must become backbone) ----------
+            with obs.span("hb.pull_inference"):
+                self.pull_edges: List[PullEdge] = (
+                    infer_pull_edges(trace) if model.pull else []
+                )
+            pull_endpoints: Set[int] = set()
+            for edge in self.pull_edges:
+                pull_endpoints.add(edge.write_seq)
+                pull_endpoints.add(edge.read_seq)
 
-        # -- backbone selection --------------------------------------------------
-        if compress_mem:
-            self.backbone: List[OpEvent] = [
-                r
-                for r in trace.records
-                if r.kind in HB_KINDS or r.seq in pull_endpoints
-            ]
-        else:
-            self.backbone = list(trace.records)
-        self._bidx: Dict[int, int] = {r.seq: i for i, r in enumerate(self.backbone)}
-        self._succ: List[Set[int]] = [set() for _ in self.backbone]
-        self._reach: Optional[List[int]] = None
+            # -- backbone selection --------------------------------------------
+            if compress_mem:
+                self.backbone: List[OpEvent] = [
+                    r
+                    for r in trace.records
+                    if r.kind in HB_KINDS or r.seq in pull_endpoints
+                ]
+            else:
+                self.backbone = list(trace.records)
+            self._bidx: Dict[int, int] = {
+                r.seq: i for i, r in enumerate(self.backbone)
+            }
+            self._succ: List[Set[int]] = [set() for _ in self.backbone]
+            self._reach: Optional[List[int]] = None
 
-        # Per-segment backbone positions, for nearest-backbone lookups.
-        self._seg_backbone_pos: Dict[int, List[int]] = defaultdict(list)
-        self._seg_backbone_idx: Dict[int, List[int]] = defaultdict(list)
-        for record in self.backbone:
-            segment, pos = self._position[record.seq]
-            self._seg_backbone_pos[segment].append(pos)
-            self._seg_backbone_idx[segment].append(self._bidx[record.seq])
+            # Per-segment backbone positions, for nearest-backbone lookups.
+            self._seg_backbone_pos: Dict[int, List[int]] = defaultdict(list)
+            self._seg_backbone_idx: Dict[int, List[int]] = defaultdict(list)
+            for record in self.backbone:
+                segment, pos = self._position[record.seq]
+                self._seg_backbone_pos[segment].append(pos)
+                self._seg_backbone_idx[segment].append(self._bidx[record.seq])
 
-        self._build_edges()
+            with obs.span("hb.edges"):
+                self._build_edges()
+        self._publish_build_metrics()
 
     # -- construction -----------------------------------------------------------
+
+    def _publish_build_metrics(self) -> None:
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return
+        registry.counter("hb_graphs_built_total", "HB graphs constructed").inc()
+        registry.gauge("hb_vertices", "trace records in the last graph").set(
+            len(self.trace)
+        )
+        registry.gauge(
+            "hb_backbone_vertices", "backbone size of the last graph"
+        ).set(len(self.backbone))
+        registry.gauge("hb_segments", "segments in the last graph").set(
+            len(self._segments)
+        )
+        edges = registry.counter("hb_edges_total", "HB edges added, by rule")
+        for rule, count in self.edge_counts.items():
+            edges.labels(rule=rule).inc(count)
 
     def add_edge(self, seq_from: int, seq_to: int, rule: str) -> bool:
         """Add a backbone edge; both endpoints must be backbone records."""
@@ -169,12 +194,17 @@ class HBGraph:
                 required_bytes=required,
                 budget_bytes=self.memory_budget,
             )
-        reach = [0] * n
-        for i in range(n - 1, -1, -1):
-            acc = 0
-            for j in self._succ[i]:
-                acc |= reach[j] | (1 << j)
-            reach[i] = acc
+        with obs.span("hb.reach", backbone=n):
+            obs.gauge(
+                "hb_reach_matrix_bytes",
+                "estimated reachability bit-matrix size",
+            ).set(required)
+            reach = [0] * n
+            for i in range(n - 1, -1, -1):
+                acc = 0
+                for j in self._succ[i]:
+                    acc |= reach[j] | (1 << j)
+                reach[i] = acc
         return reach
 
     def backbone_reaches(self, i: int, j: int) -> bool:

@@ -1,0 +1,358 @@
+"""Metrics: counters, gauges, and histograms with labeled children.
+
+The registry is the pipeline's cost-accounting substrate (the numbers
+behind Tables 6/7 and every future perf PR).  Design points:
+
+* **Thread-safe.**  Simulated threads are real OS threads; every value
+  update takes the metric's lock, every get-or-create takes the
+  registry's lock.  A concurrent ``inc`` never loses an update.
+* **Zero-cost when disabled.**  The module-level active registry starts
+  as ``NULL_REGISTRY``, whose ``counter``/``gauge``/``histogram`` return
+  one shared no-op metric: instrumented call sites pay one attribute
+  call and nothing else, and no state accumulates.
+* **Labels.**  ``registry.counter("rpc_calls_total").labels(method="get")``
+  returns a child counter; the parent renders each labeled series
+  separately (Prometheus-style) and also aggregates them.
+
+Use ``use_registry(MetricsRegistry())`` (or the pipeline's ``observe``
+config, which does it for you) to turn collection on for a region.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Label key-value pairs, sorted — the identity of one child series.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, but any
+#: unit works; the +Inf bucket is implicit).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0,
+)
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class: one named series plus optional labeled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._children: Dict[LabelKey, "Metric"] = {}
+
+    # -- labels ------------------------------------------------------------
+
+    def labels(self, **labels: str) -> "Metric":
+        """The child series for these label values (created on demand)."""
+        key = _label_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def _make_child(self) -> "Metric":
+        return type(self)(self.name, self.help)
+
+    def children(self) -> Dict[LabelKey, "Metric"]:
+        with self._lock:
+            return dict(self._children)
+
+    # -- snapshot ----------------------------------------------------------
+
+    def value_dict(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, object]:
+        data = dict(self.value_dict())
+        series = {}
+        for key, child in self.children().items():
+            label = ",".join(f"{k}={v}" for k, v in key)
+            series[label] = child.value_dict()
+        if series:
+            data["series"] = series
+        return data
+
+
+class Counter(Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """This series' own count plus all labeled children."""
+        with self._lock:
+            total = self._value
+            kids = list(self._children.values())
+        return total + sum(k.value for k in kids)
+
+    def value_dict(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+
+class Gauge(Metric):
+    """A value that can go up and down (sizes, last-seen quantities)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def value_dict(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+
+class Histogram(Metric):
+    """Bucketed distribution with count and sum."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+        self._bucket_counts = [0] * (len(self.buckets) + 1)  # +Inf last
+        self._count = 0
+        self._sum = 0.0
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, self.buckets)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._bucket_counts[i] += 1
+                    return
+            self._bucket_counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            own = self._count
+            kids = list(self._children.values())
+        return own + sum(k.count for k in kids)
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            own = self._sum
+            kids = list(self._children.values())
+        return own + sum(k.sum for k in kids)
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts, +Inf last, children included."""
+        with self._lock:
+            totals = list(self._bucket_counts)
+            kids = list(self._children.values())
+        for kid in kids:
+            for i, c in enumerate(kid.bucket_counts()):
+                totals[i] += c
+        return totals
+
+    def value_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                **{str(b): c for b, c in zip(self.buckets, self.bucket_counts())},
+                "+Inf": self.bucket_counts()[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create, snapshot-able."""
+
+    enabled = True
+
+    def __init__(self, name: str = "repro") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def metrics(self) -> List[Metric]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-safe view of everything: {name: {kind, value(s), series}}."""
+        out: Dict[str, Dict[str, object]] = {}
+        for metric in self.metrics():
+            data = {"kind": metric.kind}
+            data.update(metric.snapshot())
+            out[metric.name] = data
+        return out
+
+
+class _NullMetric(Metric):
+    """One shared metric that records nothing; every mutator is a no-op."""
+
+    kind = "null"
+
+    def __init__(self) -> None:  # no locks, no children
+        self.name = "<null>"
+        self.help = ""
+
+    def labels(self, **labels: str) -> "_NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    def value_dict(self) -> Dict[str, object]:
+        return {"value": 0.0}
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"value": 0.0}
+
+
+NULL_METRIC = _NullMetric()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: hands out ``NULL_METRIC``, snapshots empty."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.name = "<null>"
+
+    def counter(self, name: str, help: str = "") -> _NullMetric:  # type: ignore[override]
+        return NULL_METRIC
+
+    def gauge(self, name: str, help: str = "") -> _NullMetric:  # type: ignore[override]
+        return NULL_METRIC
+
+    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS):  # type: ignore[override]
+        return NULL_METRIC
+
+    def metrics(self) -> List[Metric]:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry (``NULL_REGISTRY`` when observability is off)."""
+    return _active
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` as the active one; ``None`` disables."""
+    global _active
+    previous = _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+def metrics_enabled() -> bool:
+    return _active.enabled
+
+
+@contextmanager
+def use_registry(registry: Optional[MetricsRegistry]) -> Iterator[MetricsRegistry]:
+    """Scoped activation: restore the previous registry on exit."""
+    previous = set_registry(registry)
+    try:
+        yield get_registry()
+    finally:
+        set_registry(previous)

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.analysis.astutil import SourceIndex
 from repro.analysis.pruner import PruneResult, StaticPruner
 from repro.detect.races import DetectionResult, detect_races
@@ -54,6 +55,10 @@ class PipelineConfig:
     #: monitored run (see ``repro.runtime.faults``).  Trigger re-runs stay
     #: fault-free: they must isolate the racing pair, not the faults.
     fault_plan: Optional[FaultPlan] = None
+    #: Collect metrics and spans for this run (``repro.obs``).  When off,
+    #: every instrumentation point hits the no-op registry/tracer and the
+    #: result carries an empty ``metrics`` snapshot and no profile.
+    observe: bool = True
 
 
 @dataclass
@@ -77,6 +82,13 @@ class PipelineResult:
     #: intact — the pipeline returns what it has instead of raising.
     stage_failures: Dict[str, int] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
+    #: Metrics snapshot of the run (``MetricsRegistry.snapshot()``) —
+    #: empty when ``config.observe`` is false.  Benchmarks and fault
+    #: campaigns assert on this instead of re-deriving counts.
+    metrics: Dict[str, Dict] = field(default_factory=dict)
+    #: The run's ``SpanTracer`` (None when observability is off); feed it
+    #: to ``repro.obs.render_span_table`` / ``spans_to_chrome``.
+    profile: Optional[obs.SpanTracer] = None
 
     @property
     def degraded(self) -> bool:
@@ -161,15 +173,52 @@ class DCatch:
         return result, tracer.trace
 
     def run(self) -> PipelineResult:
+        """Run all stages under this run's observability context.
+
+        When ``config.observe`` is set (the default) a fresh registry and
+        span tracer are activated for the duration of the run — unless
+        the caller already activated ones (e.g. a fault campaign
+        aggregating across runs), which are then reused.  The snapshot
+        lands on ``PipelineResult.metrics`` either way.
+        """
+        config = self.config
+        if not config.observe:
+            registry: obs.MetricsRegistry = obs.NULL_REGISTRY
+            tracer: obs.SpanTracer = obs.NULL_TRACER
+        else:
+            registry = (
+                obs.get_registry()
+                if obs.get_registry().enabled
+                else obs.MetricsRegistry(name=self.workload.info.bug_id)
+            )
+            tracer = (
+                obs.get_tracer()
+                if obs.get_tracer().enabled
+                else obs.SpanTracer(name=self.workload.info.bug_id)
+            )
+        with obs.use_registry(registry), obs.use_tracer(tracer):
+            result = self._run_stages()
+        result.metrics = registry.snapshot()
+        result.profile = tracer if config.observe else None
+        return result
+
+    def _run_stages(self) -> PipelineResult:
         config = self.config
         timings: Dict[str, float] = {}
+        obs.counter("pipeline_runs_total", "DCatch pipeline executions").inc()
 
         started = time.perf_counter()
-        base_result = self.run_base()
+        with obs.span("pipeline.base", workload=self.workload.info.bug_id):
+            base_result = self.run_base()
         timings["base_seconds"] = time.perf_counter() - started
 
         started = time.perf_counter()
-        monitored_result, trace = self.run_traced()
+        with obs.span("pipeline.tracing", scope=config.scope):
+            monitored_result, trace = self.run_traced()
+            if obs.enabled():
+                from repro.trace.stats import compute_stats, publish_stats
+
+                publish_stats(compute_stats(trace))
         timings["tracing_seconds"] = time.perf_counter() - started
 
         detection = None
@@ -184,13 +233,17 @@ class DCatch:
         def stage_failed(stage: str, exc: Exception) -> None:
             stage_failures[stage] = stage_failures.get(stage, 0) + 1
             errors.append(f"{stage}: {type(exc).__name__}: {exc}")
+            obs.counter(
+                "pipeline_stage_failures_total", "degraded pipeline stages"
+            ).labels(stage=stage).inc()
 
         try:
             started = time.perf_counter()
-            detection = detect_races(
-                trace, model=config.model, memory_budget=config.memory_budget
-            )
-            reports_pre = ReportSet.from_detection(detection)
+            with obs.span("pipeline.analysis"):
+                detection = detect_races(
+                    trace, model=config.model, memory_budget=config.memory_budget
+                )
+                reports_pre = ReportSet.from_detection(detection)
             reports = reports_pre
             timings["analysis_seconds"] = time.perf_counter() - started
         except TraceAnalysisOOM as exc:
@@ -201,13 +254,14 @@ class DCatch:
         if reports is not None and config.prune:
             try:
                 started = time.perf_counter()
-                index = SourceIndex.from_modules(self.workload.modules())
-                pruner = StaticPruner.for_trace(
-                    index,
-                    trace,
-                    interprocedural_depth=config.interprocedural_depth,
-                )
-                prune_result = pruner.apply(reports_pre)
+                with obs.span("pipeline.pruning"):
+                    index = SourceIndex.from_modules(self.workload.modules())
+                    pruner = StaticPruner.for_trace(
+                        index,
+                        trace,
+                        interprocedural_depth=config.interprocedural_depth,
+                    )
+                    prune_result = pruner.apply(reports_pre)
                 reports = prune_result.kept
                 timings["pruning_seconds"] = time.perf_counter() - started
             except Exception as exc:  # noqa: BLE001
@@ -217,22 +271,25 @@ class DCatch:
 
         if reports is not None and detection is not None and config.trigger:
             started = time.perf_counter()
-            try:
-                placement = PlacementAnalyzer(trace, detection.graph)
-                module = TriggerModule(
-                    self.workload.factory(), seeds=config.trigger_seeds
-                )
-            except Exception as exc:  # noqa: BLE001
-                stage_failed("trigger", exc)
-            else:
-                for report in reports:
-                    # Each report's re-runs are isolated: one hung or
-                    # crashed trigger execution is that report's outcome,
-                    # not the pipeline's.
-                    try:
-                        outcomes.append(module.validate_report(report, placement))
-                    except Exception as exc:  # noqa: BLE001
-                        stage_failed("trigger", exc)
+            with obs.span("pipeline.trigger", reports=len(reports)):
+                try:
+                    placement = PlacementAnalyzer(trace, detection.graph)
+                    module = TriggerModule(
+                        self.workload.factory(), seeds=config.trigger_seeds
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    stage_failed("trigger", exc)
+                else:
+                    for report in reports:
+                        # Each report's re-runs are isolated: one hung or
+                        # crashed trigger execution is that report's outcome,
+                        # not the pipeline's.
+                        try:
+                            outcomes.append(
+                                module.validate_report(report, placement)
+                            )
+                        except Exception as exc:  # noqa: BLE001
+                            stage_failed("trigger", exc)
             timings["trigger_seconds"] = time.perf_counter() - started
 
         return PipelineResult(

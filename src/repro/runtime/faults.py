@@ -231,6 +231,11 @@ class FaultInjector:
             self._apply(action)
 
     def _apply(self, action: FaultAction) -> None:
+        from repro import obs
+
+        obs.counter(
+            "faults_injected_total", "fault actions applied by the injector"
+        ).labels(kind=action.kind.value).inc()
         if action.kind is FaultKind.CRASH:
             self.cluster.node(action.target).crash()
         elif action.kind is FaultKind.RESTART:

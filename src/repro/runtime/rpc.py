@@ -20,9 +20,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional
 
+from repro import obs
 from repro.errors import ReproError, RpcError, RpcTimeout, SimFailure
 from repro.runtime.ops import OpKind
 from repro.runtime.scheduler import current_sim_thread
+
+#: Latency buckets in scheduler steps (logical time, not seconds).
+_LATENCY_STEP_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
 
 
 class RpcRequest:
@@ -155,7 +159,14 @@ def call_rpc(
     """
     cluster = caller_node.cluster
     target = cluster.node(target_name)
+    obs.counter("rpc_calls_total", "RPC calls issued").labels(
+        method=method
+    ).inc()
+    start_clock = cluster.scheduler.clock
     if target.crashed:
+        obs.counter("rpc_failures_total", "failed RPC attempts").labels(
+            method=method, reason="crashed_target"
+        ).inc()
         raise RpcError(f"RPC {method} to crashed node {target_name}")
     tag = cluster.ids.tag("rpc")
     meta = {"method": method, "target": target_name, "caller": caller_node.name}
@@ -165,6 +176,9 @@ def call_rpc(
     if target.crashed:
         # The target crashed during the scheduling point above; the
         # orphaned Create record pairs with nothing and adds no edge.
+        obs.counter("rpc_failures_total", "failed RPC attempts").labels(
+            method=method, reason="crashed_target"
+        ).inc()
         raise RpcError(f"RPC {method} to crashed node {target_name}")
     request = RpcRequest(tag, method, args, kwargs, caller_node.name)
     target.rpc_server.submit(request)
@@ -183,12 +197,23 @@ def call_rpc(
             cluster.timeouts.unregister(key)
         if not request.done:
             request.abandoned = True
+            obs.counter("rpc_timeouts_total", "RPC calls that timed out").labels(
+                method=method
+            ).inc()
             raise RpcTimeout(
                 f"RPC {method} to {target_name} timed out "
                 f"after {timeout} steps"
             )
     cluster.op(OpKind.RPC_JOIN, tag, extra=dict(meta))
+    obs.histogram(
+        "rpc_latency_steps",
+        "RPC round-trip latency in scheduler steps",
+        buckets=_LATENCY_STEP_BUCKETS,
+    ).observe(cluster.scheduler.clock - start_clock)
     if request.error is not None:
+        obs.counter("rpc_failures_total", "failed RPC attempts").labels(
+            method=method, reason="handler_error"
+        ).inc()
         raise request.error
     return request.result
 
@@ -237,6 +262,9 @@ def call_with_retry(
             last_error = exc
             if attempt == attempts - 1:
                 break
+            obs.counter("rpc_retries_total", "RPC attempts retried").labels(
+                method=method
+            ).inc()
             sleep(min(delay, max_backoff))
             delay *= max(1, int(backoff_factor))
     raise last_error

@@ -285,6 +285,11 @@ class Scheduler:
         """
         t = SimThread(self, target, name, node=node, daemon=daemon)
         self.threads[t.tid] = t
+        from repro import obs
+
+        obs.counter(
+            "scheduler_threads_spawned_total", "simulated threads created"
+        ).inc()
         if start:
             t.start()
         return t
@@ -333,6 +338,16 @@ class Scheduler:
         finally:
             self._finished = True
             self._teardown()
+            # Aggregate accounting only — nothing per-step, so the hot
+            # loop costs the same whether observability is on or off.
+            from repro import obs
+
+            obs.counter(
+                "scheduler_steps_total", "scheduling decisions executed"
+            ).inc(self.steps)
+            obs.counter(
+                "scheduler_clock_ticks_total", "logical clock advancement"
+            ).inc(self.clock)
 
     def _loop(self) -> None:
         while True:

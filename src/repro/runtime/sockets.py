@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional
 
+from repro import obs
 from repro.errors import ReproError
 from repro.runtime.ops import OpKind
 from repro.runtime.scheduler import current_sim_thread
@@ -98,9 +99,23 @@ class SocketManager:
         elif copies > 1:
             meta["copies"] = copies
         self.cluster.op(OpKind.SOCK_SEND, tag, extra=dict(meta))
+        obs.counter("messages_sent_total", "socket messages sent").labels(
+            verb=verb
+        ).inc()
         if dropped or target.crashed:
             target.sockets.dropped += 1
+            obs.counter(
+                "messages_dropped_total", "messages the network discarded"
+            ).labels(verb=verb).inc()
             return tag
+        if copies > 1:
+            obs.counter(
+                "messages_duplicated_total", "messages the network duplicated"
+            ).labels(verb=verb).inc()
+        if delivery.delay:
+            obs.counter(
+                "messages_delayed_total", "messages delivered late"
+            ).labels(verb=verb).inc()
         deliver_at = self.cluster.scheduler.clock + delivery.delay
         for _ in range(copies):
             target.sockets.deliver(
@@ -147,6 +162,9 @@ class SocketManager:
             "handler": getattr(handler, "__qualname__", str(handler)),
         }
         self.cluster.op(OpKind.SOCK_RECV, message.tag, extra=dict(meta))
+        obs.counter(
+            "messages_delivered_total", "socket messages dispatched to handlers"
+        ).labels(verb=message.verb).inc()
         try:
             if handler is None:
                 self.node.log.warn(f"no verb handler for {message.verb}")

@@ -22,7 +22,7 @@ from repro.trace.scope import (
     find_comm_functions_in_source,
     selective_scope_for,
 )
-from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.stats import TraceStats, compute_stats, publish_stats
 from repro.trace.store import Trace
 from repro.trace.tracer import Tracer
 
@@ -30,6 +30,7 @@ __all__ = [
     "Trace",
     "TraceStats",
     "compute_stats",
+    "publish_stats",
     "Tracer",
     "TracingScope",
     "FullScope",

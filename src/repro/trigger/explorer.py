@@ -18,6 +18,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.detect.report import BugReport, ReportSet, Verdict
 from repro.runtime.cluster import Cluster, RunResult
 from repro.runtime.failures import FailureEvent, FailureKind, FailureLog
@@ -87,6 +88,14 @@ class TriggerModule:
         self.seeds = tuple(seeds)
 
     def validate(self, report: BugReport, plan: GatePlan) -> TriggerOutcome:
+        with obs.span("trigger.validate", report=report.report_id):
+            outcome = self._validate(report, plan)
+        obs.counter(
+            "trigger_verdicts_total", "trigger verdicts reached"
+        ).labels(verdict=outcome.verdict.value).inc()
+        return outcome
+
+    def _validate(self, report: BugReport, plan: GatePlan) -> TriggerOutcome:
         outcome = TriggerOutcome(report=report, plan=plan)
         orders = [("A", "B"), ("B", "A")]
         enforced_orders = set()
@@ -192,6 +201,9 @@ class TriggerModule:
         run's ``error`` — never propagated, so one broken re-execution
         cannot take down the whole validation pass.
         """
+        obs.counter(
+            "trigger_runs_total", "controlled trigger re-executions"
+        ).inc()
         controller = OrderController(order)
         try:
             cluster = self.factory(seed)

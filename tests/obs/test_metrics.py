@@ -1,0 +1,146 @@
+"""The metrics registry: counters, gauges, histograms, labels, no-op path."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    use_registry,
+)
+
+
+def test_counter_inc_and_value():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total", "requests seen")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_counter_get_or_create_is_idempotent():
+    reg = MetricsRegistry()
+    a = reg.counter("hits", "h")
+    b = reg.counter("hits", "h")
+    assert a is b
+    with pytest.raises(TypeError):
+        reg.gauge("hits", "kind mismatch")
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth", "queue depth")
+    g.set(10)
+    g.inc(2)
+    g.dec(5)
+    assert g.value == 7
+
+
+def test_histogram_observe_and_buckets():
+    reg = MetricsRegistry()
+    h = reg.histogram("latency", "l", buckets=(1, 10, 100))
+    for v in (0.5, 5, 50, 500):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(555.5)
+    # non-cumulative per-bucket counts, +Inf last
+    assert h.bucket_counts() == [1, 1, 1, 1]
+    buckets = h.value_dict()["buckets"]
+    assert buckets["1"] == 1
+    assert buckets["+Inf"] == 1
+
+
+def test_histogram_default_buckets():
+    reg = MetricsRegistry()
+    h = reg.histogram("t", "t")
+    assert h.buckets == DEFAULT_BUCKETS
+    assert len(h.bucket_counts()) == len(DEFAULT_BUCKETS) + 1
+
+
+def test_labels_children_aggregate_into_parent():
+    reg = MetricsRegistry()
+    c = reg.counter("rpc_total", "rpcs")
+    c.labels(method="get").inc(3)
+    c.labels(method="put").inc(2)
+    c.labels(method="get").inc()
+    assert c.value == 6
+    assert c.labels(method="get") is c.labels(method="get")
+    snap = reg.snapshot()["rpc_total"]
+    assert snap["series"]["method=get"]["value"] == 4
+    assert snap["series"]["method=put"]["value"] == 2
+
+
+def test_snapshot_shape():
+    reg = MetricsRegistry(name="t")
+    reg.counter("a", "a").inc()
+    reg.gauge("b", "b").set(2)
+    reg.histogram("c", "c").observe(1)
+    snap = reg.snapshot()
+    assert snap["a"]["kind"] == "counter"
+    assert snap["b"]["kind"] == "gauge"
+    assert snap["c"]["kind"] == "histogram"
+    assert snap["c"]["count"] == 1
+
+
+def test_counter_thread_safety():
+    reg = MetricsRegistry()
+    c = reg.counter("n", "n")
+    threads = 8
+    per_thread = 2000
+
+    def work():
+        child = c.labels(worker="w")
+        for _ in range(per_thread):
+            c.inc()
+            child.inc()
+
+    ts = [threading.Thread(target=work) for _ in range(threads)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    # own increments + labeled-child increments, nothing lost
+    assert c.value == 2 * threads * per_thread
+
+
+def test_null_registry_is_inert():
+    reg = NullRegistry()
+    assert not reg.enabled
+    c = reg.counter("x", "x")
+    c.inc(100)
+    c.labels(a="b").inc()
+    reg.gauge("g", "g").set(5)
+    reg.histogram("h", "h").observe(1.0)
+    assert reg.snapshot() == {}
+
+
+def test_active_registry_default_is_null():
+    assert obs.get_registry() is NULL_REGISTRY or not obs.get_registry().enabled
+
+
+def test_use_registry_swaps_and_restores():
+    reg = MetricsRegistry()
+    before = obs.get_registry()
+    with use_registry(reg):
+        assert obs.get_registry() is reg
+        obs.counter("inside", "i").inc()
+    assert obs.get_registry() is before
+    assert reg.snapshot()["inside"]["value"] == 1
+
+
+def test_module_level_helpers_hit_active_registry():
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        obs.counter("c", "c").inc()
+        obs.gauge("g", "g").set(3)
+        obs.histogram("h", "h").observe(0.2)
+        assert obs.enabled()
+    snap = reg.snapshot()
+    assert snap["c"]["value"] == 1
+    assert snap["g"]["value"] == 3

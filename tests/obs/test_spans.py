@@ -1,0 +1,176 @@
+"""Spans, the no-op tracer, and the exporters."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    SpanTracer,
+    render_prometheus,
+    render_span_table,
+    profile_to_json,
+    spans_to_chrome,
+    use_tracer,
+    write_chrome_trace,
+)
+
+
+def test_span_records_timing_and_closes():
+    tracer = SpanTracer()
+    with tracer.span("work") as s:
+        pass
+    assert s.end_wall is not None
+    assert s.wall_seconds >= 0
+    assert s.cpu_seconds >= 0
+    assert s.status == "ok"
+    assert tracer.closed() == [s]
+
+
+def test_span_nesting_sets_parent_ids():
+    tracer = SpanTracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            with tracer.span("leaf") as leaf:
+                pass
+    assert outer.parent_id is None
+    assert inner.parent_id == outer.span_id
+    assert leaf.parent_id == inner.span_id
+    assert tracer.roots() == [outer]
+    assert tracer.children_of(outer) == [inner]
+    # siblings after the first tree still get fresh roots
+    with tracer.span("second") as second:
+        pass
+    assert second.parent_id is None
+    assert len(tracer.roots()) == 2
+
+
+def test_span_exception_marks_error_and_propagates():
+    tracer = SpanTracer()
+    with pytest.raises(RuntimeError, match="boom"):
+        with tracer.span("risky"):
+            raise RuntimeError("boom")
+    (span,) = tracer.closed()
+    assert span.status == "error"
+    assert "RuntimeError: boom" in span.error
+    assert span.end_wall is not None  # closed despite the exception
+    # the stack unwound: the next span is a root, not a child of "risky"
+    with tracer.span("after") as after:
+        pass
+    assert after.parent_id is None
+
+
+def test_span_attrs():
+    tracer = SpanTracer()
+    with tracer.span("s", records=10) as s:
+        s.set(extra="yes")
+    assert s.attrs == {"records": 10, "extra": "yes"}
+    assert s.to_dict()["attrs"]["extra"] == "yes"
+
+
+def test_module_level_span_uses_active_tracer():
+    tracer = SpanTracer()
+    with use_tracer(tracer):
+        assert obs.tracing_enabled()
+        with obs.span("region"):
+            pass
+    assert not obs.tracing_enabled() or obs.get_tracer() is not tracer
+    assert [s.name for s in tracer.closed()] == ["region"]
+
+
+def test_null_tracer_is_inert():
+    with NULL_TRACER.span("anything") as s:
+        s.set(a=1)
+    assert NULL_TRACER.closed() == []
+    assert not NULL_TRACER.enabled
+    # the module default is the null tracer: span() costs nothing
+    with obs.span("ambient"):
+        pass
+    assert NULL_TRACER.closed() == []
+
+
+def test_chrome_export_schema():
+    tracer = SpanTracer(name="t")
+    with tracer.span("pipeline.tracing", scope="selective"):
+        with tracer.span("hb.build"):
+            pass
+    doc = spans_to_chrome(tracer)
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    events = doc["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == 2
+    assert meta and meta[0]["name"] == "thread_name"
+    for event in complete:
+        assert {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"} <= set(
+            event
+        )
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+    cats = {e["cat"] for e in complete}
+    assert cats == {"pipeline", "hb"}
+    # attrs survive as stringified args
+    outer = next(e for e in complete if e["name"] == "pipeline.tracing")
+    assert outer["args"]["scope"] == "selective"
+    json.dumps(doc)  # must be serializable as-is
+
+
+def test_write_chrome_trace_is_loadable(tmp_path):
+    tracer = SpanTracer()
+    with tracer.span("a"):
+        pass
+    path = tmp_path / "trace.json"
+    write_chrome_trace(str(path), tracer)
+    loaded = json.loads(path.read_text())
+    assert isinstance(loaded["traceEvents"], list)
+    assert loaded["traceEvents"][0]["name"] == "a"
+
+
+def test_profile_to_json_document():
+    tracer = SpanTracer(name="ZK-1144")
+    reg = MetricsRegistry()
+    reg.counter("c", "c").inc()
+    with tracer.span("stage"):
+        pass
+    doc = profile_to_json(tracer, reg, bug_id="ZK-1144")
+    assert doc["format"] == "repro-profile"
+    assert doc["version"] == 1
+    assert doc["bug_id"] == "ZK-1144"
+    assert doc["profile"]["spans"][0]["name"] == "stage"
+    assert doc["metrics"]["c"]["value"] == 1
+
+
+def test_render_span_table_tree():
+    tracer = SpanTracer()
+    with tracer.span("pipeline.tracing"):
+        with tracer.span("hb.build"):
+            pass
+    table = render_span_table(tracer)
+    lines = table.splitlines()
+    assert "span" in lines[0] and "share" in lines[0]
+    assert any(line.startswith("pipeline.tracing") for line in lines)
+    assert any(line.startswith("  hb.build") for line in lines)
+    assert render_span_table(SpanTracer()) == "(no spans recorded)"
+
+
+def test_render_prometheus_exposition():
+    reg = MetricsRegistry()
+    reg.counter("runs_total", "pipeline runs").inc(3)
+    reg.counter("rpc_total", "rpcs").labels(method="get").inc(2)
+    h = reg.histogram("lat", "latency", buckets=(1, 10))
+    h.observe(0.5)
+    h.observe(5)
+    h.observe(50)
+    text = render_prometheus(reg)
+    assert "# HELP runs_total pipeline runs" in text
+    assert "# TYPE runs_total counter" in text
+    assert "runs_total 3" in text
+    assert 'rpc_total{method="get"} 2' in text
+    # histogram buckets are cumulative, +Inf equals the total count
+    assert 'lat_bucket{le="1"} 1' in text
+    assert 'lat_bucket{le="10"} 2' in text
+    assert 'lat_bucket{le="+Inf"} 3' in text
+    assert "lat_sum 55.5" in text
+    assert "lat_count 3" in text

@@ -66,3 +66,86 @@ def test_list_includes_extras(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_run_accepts_system_and_workload(capsys):
+    assert main(["run", "minizk", "1270", "--no-trigger"]) == 0
+    out = capsys.readouterr().out
+    assert "DCatch on ZK-1270" in out
+
+
+def test_run_unknown_bug_exits_2(capsys):
+    assert main(["run", "NOPE-1"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: unknown benchmark NOPE-1")
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_run_unknown_system_exits_2(capsys):
+    assert main(["run", "minixx", "1270"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown system minixx" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_profile_unknown_workload_exits_2(capsys):
+    assert main(["profile", "minizk", "9999"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown workload 9999" in err
+    assert "ZK-1144" in err  # the known names are listed
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_profile_command(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "profile.json"
+    chrome = tmp_path / "trace.json"
+    assert main(
+        [
+            "profile",
+            "minizk",
+            "1270",
+            "--no-trigger",
+            "--out",
+            str(out),
+            "--chrome",
+            str(chrome),
+        ]
+    ) == 0
+    stdout = capsys.readouterr().out
+    assert "pipeline.tracing" in stdout
+    assert "share" in stdout
+
+    profile = json.loads(out.read_text())
+    assert profile["format"] == "repro-profile"
+    span_names = {s["name"] for s in profile["profile"]["spans"]}
+    assert "pipeline.analysis" in span_names
+    assert "pipeline_runs_total" in profile["metrics"]
+
+    trace = json.loads(chrome.read_text())
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+
+def test_metrics_command_prometheus(capsys):
+    assert main(["metrics", "ZK-1270", "--no-trigger"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE pipeline_runs_total counter" in out
+    assert "pipeline_runs_total 1" in out
+
+
+def test_metrics_command_json(capsys):
+    import json
+
+    assert main(["metrics", "minizk", "1270", "--no-trigger", "--format", "json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["pipeline_runs_total"]["value"] == 1
+
+
+def test_trace_stats_flag(capsys):
+    assert main(["trace", "ZK-1270", "--stats", "--out", ""]) == 0
+    out = capsys.readouterr().out
+    assert "by category:" in out
+    assert "bytes by category:" in out
+    assert "hb ops:" in out

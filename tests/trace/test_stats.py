@@ -43,3 +43,44 @@ def test_stats_on_benchmark_trace():
     assert stats.segments > stats.handler_segments
     assert stats.size_bytes == tracer.trace.size_bytes()
     assert sum(stats.per_thread.values()) == stats.total
+    assert stats.hb_ops > 0
+    assert sum(stats.bytes_by_category.values()) == stats.size_bytes
+    assert set(stats.bytes_by_category) == set(stats.categories)
+
+
+def test_stats_survive_save_load_round_trip(tmp_path):
+    from repro.systems import workload_by_id
+    from repro.trace import Trace, selective_scope_for
+
+    workload = workload_by_id("ZK-1270")
+    cluster = workload.cluster(0)
+    tracer = Tracer(scope=selective_scope_for(workload.modules())).bind(cluster)
+    cluster.run()
+
+    before = compute_stats(tracer.trace)
+    tracer.trace.save(str(tmp_path))
+    after = compute_stats(Trace.load(str(tmp_path)))
+    assert after == before
+
+
+def test_publish_stats_mirrors_into_registry():
+    from repro.obs import MetricsRegistry
+    from repro.trace import publish_stats
+
+    cluster = Cluster(seed=0)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    a = cluster.add_node("a")
+    var = a.shared_var("x", 0)
+    a.spawn(lambda: var.set(1), name="w")
+    cluster.run()
+
+    stats = compute_stats(tracer.trace)
+    registry = MetricsRegistry()
+    publish_stats(stats, registry)
+    snap = registry.snapshot()
+    assert snap["trace_records"]["value"] == stats.total
+    assert snap["trace_size_bytes"]["value"] == stats.size_bytes
+    assert snap["trace_mem_writes"]["value"] == stats.writes
+    by_cat = snap["trace_bytes_by_category"]["series"]
+    for category, size in stats.bytes_by_category.items():
+        assert by_cat[f"category={category}"]["value"] == size
