@@ -16,9 +16,14 @@ from typing import Dict, Optional, Tuple
 #: Where ``write_bench_json`` puts its artifact by default.
 REPO_ROOT = Path(__file__).resolve().parents[3]
 BENCH_JSON_PATH = REPO_ROOT / "BENCH_pipeline.json"
+BENCH_DETECT_JSON_PATH = REPO_ROOT / "BENCH_detect.json"
 
 #: One representative benchmark per mini system, Table 3 order.
 BENCH_REPRESENTATIVES = ("CA-1011", "HB-4539", "MR-3274", "ZK-1144")
+
+#: Chunk geometry for the detect benchmark's chunked modes.
+DETECT_CHUNK_SIZE = 1200
+DETECT_CHUNK_OVERLAP = 120
 
 from repro.detect.races import DetectionResult, detect_races
 from repro.detect.report import ReportSet
@@ -207,25 +212,230 @@ def write_bench_json(path=BENCH_JSON_PATH, bug_ids=BENCH_REPRESENTATIVES) -> Pat
     return path
 
 
+# -- machine-readable detection benchmark ------------------------------------------
+
+
+def _timed(fn):
+    """(result, wall_seconds, cpu_seconds) of one call."""
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    result = fn()
+    return (
+        result,
+        round(time.perf_counter() - wall, 6),
+        round(time.process_time() - cpu, 6),
+    )
+
+
+def _candidate_set(detection):
+    return {(c.first.seq, c.second.seq) for c in detection.candidates}
+
+
+def _bench_detect_one(bug_id: str, workers: int) -> Dict[str, object]:
+    """Serial / parallel / compressed detection timings on one full
+    (unselective, Table-8-style) trace."""
+    from repro.detect.chunked import detect_races_chunked
+
+    workload = workload_by_id(bug_id)
+    cluster = workload.cluster(0)
+    tracer = Tracer(scope=FullScope(), name=f"{bug_id}-detect-bench")
+    tracer.bind(cluster)
+    cluster.run()
+    trace = tracer.trace
+
+    modes: Dict[str, Dict[str, object]] = {}
+
+    def record(name, detection, wall, cpu, graph=None, extra=None):
+        graph = graph if graph is not None else detection.graph
+        entry = {
+            "wall_seconds": wall,
+            "cpu_seconds": cpu,
+            "candidates": len(detection.candidates),
+            "static_pairs": detection.static_count(),
+            "reach": graph.reach_stats() if graph is not None else None,
+        }
+        entry.update(extra or {})
+        modes[name] = entry
+        return detection
+
+    # Whole-graph, segment-compressed backbone (the production default).
+    serial = record(
+        "serial", *_timed(lambda: detect_races(trace)), extra={"workers": 1}
+    )
+    sharded = record(
+        "sharded",
+        *_timed(lambda: detect_races(trace, workers=workers)),
+        extra={"workers": workers},
+    )
+
+    # The paper's per-vertex graph (compress_mem=False): bit matrix vs
+    # the chain-compressed backend, same vertex set.
+    full_bitset = record(
+        "full_bitset",
+        *_timed(
+            lambda: detect_races(
+                trace,
+                graph=HBGraph(trace, compress_mem=False),
+            )
+        ),
+        extra={"workers": 1},
+    )
+    full_chain = record(
+        "full_chain",
+        *_timed(
+            lambda: detect_races(
+                trace,
+                graph=HBGraph(
+                    trace, compress_mem=False, reach_backend="chain"
+                ),
+            )
+        ),
+        extra={"workers": 1},
+    )
+
+    # Chunked detection (the OOM fallback), serial vs process pool.
+    chunked_serial, wall, cpu = _timed(
+        lambda: detect_races_chunked(
+            trace,
+            DETECT_CHUNK_SIZE,
+            DETECT_CHUNK_OVERLAP,
+            compress_mem=False,
+        )
+    )
+    modes["chunked_serial"] = {
+        "wall_seconds": wall,
+        "cpu_seconds": cpu,
+        "candidates": len(chunked_serial.candidates),
+        "chunks": chunked_serial.chunks,
+        "workers": 1,
+    }
+    chunked_parallel, wall, cpu = _timed(
+        lambda: detect_races_chunked(
+            trace,
+            DETECT_CHUNK_SIZE,
+            DETECT_CHUNK_OVERLAP,
+            compress_mem=False,
+            workers=workers,
+        )
+    )
+    modes["chunked_parallel"] = {
+        "wall_seconds": wall,
+        "cpu_seconds": cpu,
+        "candidates": len(chunked_parallel.candidates),
+        "chunks": chunked_parallel.chunks,
+        "workers": workers,
+    }
+
+    chunked_equal = {
+        (c.first.seq, c.second.seq) for c in chunked_serial.candidates
+    } == {(c.first.seq, c.second.seq) for c in chunked_parallel.candidates}
+    equal = {
+        "sharded_matches_serial": _candidate_set(sharded)
+        == _candidate_set(serial),
+        "chain_matches_bitset": _candidate_set(full_chain)
+        == _candidate_set(full_bitset),
+        "full_graph_matches_compressed": _candidate_set(full_bitset)
+        == _candidate_set(serial),
+        "chunked_parallel_matches_chunked_serial": chunked_equal,
+    }
+    return {
+        "bug_id": bug_id,
+        "system": workload.info.system,
+        "trace": {
+            "records": len(trace),
+            "backbone": len(serial.graph.backbone),
+            "full_vertices": len(full_bitset.graph.backbone),
+        },
+        "modes": modes,
+        "equal": equal,
+        "speedup": {
+            "chunked_parallel_vs_serial": round(
+                modes["chunked_serial"]["wall_seconds"]
+                / max(modes["chunked_parallel"]["wall_seconds"], 1e-9),
+                3,
+            ),
+            "chain_memory_ratio": round(
+                modes["full_bitset"]["reach"]["bytes"]
+                / max(modes["full_chain"]["reach"]["bytes"], 1),
+                3,
+            ),
+        },
+    }
+
+
+def bench_detect_data(
+    bug_ids=BENCH_REPRESENTATIVES, workers: Optional[int] = None
+) -> Dict[str, object]:
+    """The ``BENCH_detect.json`` document."""
+    import os
+    import platform
+    import sys
+
+    if workers is None:
+        workers = min(4, max(2, os.cpu_count() or 1))
+    return {
+        "format": "repro-bench-detect",
+        "version": 1,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "workers": workers,
+        "chunk_size": DETECT_CHUNK_SIZE,
+        "chunk_overlap": DETECT_CHUNK_OVERLAP,
+        "benchmarks": [
+            _bench_detect_one(bug_id, workers) for bug_id in bug_ids
+        ],
+    }
+
+
+def write_bench_detect_json(
+    path=BENCH_DETECT_JSON_PATH,
+    bug_ids=BENCH_REPRESENTATIVES,
+    workers: Optional[int] = None,
+) -> Path:
+    import json
+
+    path = Path(path)
+    document = bench_detect_data(bug_ids, workers)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def main(argv=None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.runner",
         description="run one pipeline per mini system and write "
-        "BENCH_pipeline.json",
+        "BENCH_pipeline.json (or BENCH_detect.json with --detect)",
     )
-    parser.add_argument(
-        "--out", default=str(BENCH_JSON_PATH), help="output path"
-    )
+    parser.add_argument("--out", default=None, help="output path")
     parser.add_argument(
         "--bugs",
         nargs="*",
         default=list(BENCH_REPRESENTATIVES),
         help="benchmark ids to time",
     )
+    parser.add_argument(
+        "--detect",
+        action="store_true",
+        help="benchmark serial/parallel/compressed detection instead of "
+        "the end-to-end pipeline",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the detect bench's parallel modes "
+        "(default: min(4, cpu_count))",
+    )
     args = parser.parse_args(argv)
-    path = write_bench_json(args.out, args.bugs)
+    if args.detect:
+        path = write_bench_detect_json(
+            args.out or BENCH_DETECT_JSON_PATH, args.bugs, args.workers
+        )
+    else:
+        path = write_bench_json(args.out or BENCH_JSON_PATH, args.bugs)
     print(f"bench results written to {path}")
     return 0
 

@@ -62,6 +62,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scope="full" if args.full_scope else "selective",
         trigger=not args.no_trigger,
         monitored_seed=args.seed,
+        detect_workers=args.workers,
+        reach_backend=args.reach_backend,
     )
     result = DCatch(workload, config).run()
     print(result.summary())
@@ -175,7 +177,10 @@ def _run_profiled(args: argparse.Namespace):
     registry = obs.MetricsRegistry(name=workload.info.bug_id)
     tracer = obs.SpanTracer(name=workload.info.bug_id)
     config = PipelineConfig(
-        trigger=not args.no_trigger, monitored_seed=args.seed
+        trigger=not args.no_trigger,
+        monitored_seed=args.seed,
+        detect_workers=getattr(args, "workers", 1),
+        reach_backend=getattr(args, "reach_backend", "bitset"),
     )
     with obs.use_registry(registry), obs.use_tracer(tracer):
         result = DCatch(workload, config).run()
@@ -216,6 +221,26 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_analysis_flags(parser: argparse.ArgumentParser) -> None:
+    """Trace-analysis knobs shared by ``run``/``profile``/``metrics``."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for candidate enumeration "
+        "(1 = serial, 0 = one per CPU; same candidates either way)",
+    )
+    parser.add_argument(
+        "--reach-backend",
+        choices=("bitset", "chain"),
+        default="bitset",
+        dest="reach_backend",
+        help="reachability engine: bit matrix (default) or "
+        "segment-chain compression (lower memory)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dcatch",
@@ -253,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the final bug reports as JSON",
     )
+    _add_analysis_flags(run)
     run.set_defaults(fn=_cmd_run)
 
     table = sub.add_parser("table", help="regenerate an evaluation table")
@@ -315,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a chrome://tracing trace-event file",
     )
+    _add_analysis_flags(profile)
     profile.set_defaults(fn=_cmd_profile)
 
     metrics = sub.add_parser(
@@ -334,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="prom",
         help="Prometheus text exposition (default) or JSON",
     )
+    _add_analysis_flags(metrics)
     metrics.set_defaults(fn=_cmd_metrics)
 
     return parser

@@ -15,6 +15,11 @@ LCbug literature the paper cites:
 * HB edges that span chunks are also missed, which can make intra-chunk
   pairs spuriously concurrent (false positives).  A modest overlap
   between consecutive chunks softens both effects.
+
+Chunks are fully independent (each builds its own graph), so they also
+parallelize: ``workers=N`` fans the chunks out over a process pool and
+merges the per-chunk candidate sets in chunk order, producing exactly
+the serial result.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.detect.races import Candidate, DetectionResult, detect_races
 from repro.errors import TraceAnalysisOOM
 from repro.hb.graph import DEFAULT_MEMORY_BUDGET, HBGraph
 from repro.hb.model import FULL_MODEL, HBModel
+from repro.runtime.ops import Location
 from repro.trace.store import Trace
 
 
@@ -42,6 +48,10 @@ class ChunkedDetectionResult:
     candidates: List[Candidate]
     analysis_seconds: float
     per_chunk_counts: List[int] = field(default_factory=list)
+    #: Locations truncated by ``max_pairs_per_location`` in any chunk.
+    truncated_locations: List[Location] = field(default_factory=list)
+    #: Worker processes used (1 = serial, in-process).
+    workers: int = 1
 
     def static_count(self) -> int:
         return len({c.static_pair for c in self.candidates})
@@ -80,30 +90,78 @@ def detect_races_chunked(
     model: HBModel = FULL_MODEL,
     memory_budget: int = DEFAULT_MEMORY_BUDGET,
     compress_mem: bool = True,
+    reach_backend: str = "bitset",
+    max_pairs_per_location: int = 200_000,
+    workers: Optional[int] = None,
 ) -> ChunkedDetectionResult:
-    """Run detection chunk by chunk and merge the candidate sets."""
+    """Run detection chunk by chunk and merge the candidate sets.
+
+    ``workers`` runs chunks in a process pool (``None``/``1`` = serial,
+    ``0`` = one per CPU); the merged candidate set is identical for any
+    worker count.
+    """
+    from repro.detect.parallel import resolve_workers, run_chunks
+
     started = time.perf_counter()
     seen: Dict[tuple, Candidate] = {}
     per_chunk: List[int] = []
+    truncated: Dict[Location, None] = {}  # ordered, deduplicated
     chunks = chunk_trace(trace, chunk_size, overlap)
-    with obs.span("detect.chunked", chunks=len(chunks), chunk_size=chunk_size):
-        for chunk in chunks:
-            obs.counter(
-                "detect_chunks_total", "trace chunks analyzed independently"
-            ).inc()
-            graph = HBGraph(
-                chunk,
-                model=model,
-                memory_budget=memory_budget,
-                compress_mem=compress_mem,
+    effective_workers = min(resolve_workers(workers), max(1, len(chunks)))
+    with obs.span(
+        "detect.chunked",
+        chunks=len(chunks),
+        chunk_size=chunk_size,
+        workers=effective_workers,
+    ):
+        obs.counter(
+            "detect_chunks_total", "trace chunks analyzed independently"
+        ).inc(len(chunks))
+        obs.gauge(
+            "detect_chunk_workers", "processes used by the last chunked run"
+        ).set(effective_workers)
+        if effective_workers > 1:
+            by_seq = {r.seq: r for r in trace.records}
+            chunk_results = run_chunks(
+                chunks,
+                model,
+                memory_budget,
+                compress_mem,
+                reach_backend,
+                max_pairs_per_location,
+                effective_workers,
             )
-            detection = detect_races(
-                chunk, model=model, memory_budget=memory_budget, graph=graph
-            )
-            per_chunk.append(len(detection.candidates))
-            for candidate in detection.candidates:
-                key = (candidate.first.seq, candidate.second.seq)
-                seen.setdefault(key, candidate)
+            for seq_pairs, _pairs, chunk_truncated in chunk_results:
+                per_chunk.append(len(seq_pairs))
+                for location in chunk_truncated:
+                    truncated.setdefault(location)
+                for first_seq, second_seq in seq_pairs:
+                    seen.setdefault(
+                        (first_seq, second_seq),
+                        Candidate(by_seq[first_seq], by_seq[second_seq]),
+                    )
+        else:
+            for chunk in chunks:
+                graph = HBGraph(
+                    chunk,
+                    model=model,
+                    memory_budget=memory_budget,
+                    compress_mem=compress_mem,
+                    reach_backend=reach_backend,
+                )
+                detection = detect_races(
+                    chunk,
+                    model=model,
+                    memory_budget=memory_budget,
+                    graph=graph,
+                    max_pairs_per_location=max_pairs_per_location,
+                )
+                per_chunk.append(len(detection.candidates))
+                for location in detection.truncated_locations:
+                    truncated.setdefault(location)
+                for candidate in detection.candidates:
+                    key = (candidate.first.seq, candidate.second.seq)
+                    seen.setdefault(key, candidate)
     return ChunkedDetectionResult(
         trace=trace,
         chunk_size=chunk_size,
@@ -112,4 +170,6 @@ def detect_races_chunked(
         candidates=list(seen.values()),
         analysis_seconds=time.perf_counter() - started,
         per_chunk_counts=per_chunk,
+        truncated_locations=list(truncated),
+        workers=effective_workers,
     )

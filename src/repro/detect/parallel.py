@@ -1,0 +1,181 @@
+"""Process-pool plumbing for parallel trace analysis.
+
+Two fan-out shapes, both embarrassingly parallel:
+
+* **per-location shards** (``run_location_shards``) — one HB graph,
+  many locations; workers answer concurrency queries against a shared
+  read-only graph and return candidate ``seq`` pairs;
+* **chunk detection** (``run_chunks``) — many independent chunk traces
+  (the paper's OOM fallback); each worker builds its own chunk graph.
+
+The ``fork`` start method is preferred: the parent finishes the HB
+graph (including its reachability structure) *before* creating the
+pool, so workers inherit it copy-on-write instead of unpickling it.  On
+platforms without ``fork`` the state travels through the pool
+initializer once per worker.  Workers silence observability (their
+registries are fork copies whose increments the parent would never
+see); the parent aggregates worker counts into the active registry.
+
+Results are returned in deterministic input order, and every worker
+runs the *same* enumeration code as the serial path, so parallel
+detection returns byte-identical candidate sets for any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import get_context
+from typing import List, Optional, Sequence, Tuple
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count knob: ``None``/``1`` → serial, ``0`` →
+    one worker per CPU, ``n`` → ``n``."""
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers == 0:
+        return os.cpu_count() or 1
+    return max(1, workers)
+
+
+def _mp_context():
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return get_context()
+
+
+def _silence_obs() -> None:
+    from repro import obs
+
+    obs.set_registry(obs.NULL_REGISTRY)
+    obs.set_tracer(obs.NULL_TRACER)
+
+
+# -- per-location sharding ----------------------------------------------------
+
+_SHARD_STATE: dict = {}
+
+
+def _init_shard_worker(graph, work, max_pairs) -> None:
+    _silence_obs()
+    _SHARD_STATE["graph"] = graph
+    _SHARD_STATE["work"] = work
+    _SHARD_STATE["max_pairs"] = max_pairs
+
+
+def _run_shard(indices: Sequence[int]) -> List[tuple]:
+    from repro.detect.races import _conflicting_pairs_at
+
+    graph = _SHARD_STATE["graph"]
+    work = _SHARD_STATE["work"]
+    max_pairs = _SHARD_STATE["max_pairs"]
+    out = []
+    for index in indices:
+        _location, accesses = work[index]
+        found, pairs, truncated = _conflicting_pairs_at(
+            accesses, graph, max_pairs
+        )
+        out.append(
+            (index, [(a.seq, b.seq) for a, b in found], pairs, truncated)
+        )
+    return out
+
+
+def run_location_shards(
+    graph, work: Sequence[tuple], max_pairs: int, workers: int
+) -> List[Tuple[List[tuple], int, bool]]:
+    """Enumerate conflicting pairs for ``work`` (a list of
+    ``(location, accesses)`` entries) across a process pool.  Returns
+    one ``(seq_pairs, pairs_examined, truncated)`` triple per entry, in
+    input order."""
+    indices = list(range(len(work)))
+    # Interleaved shards: neighbouring locations often have similar
+    # access counts, so striding balances better than block splits.
+    shards = [indices[k::workers] for k in range(workers)]
+    shards = [shard for shard in shards if shard]
+    results: List = [None] * len(work)
+    ctx = _mp_context()
+    with ctx.Pool(
+        processes=len(shards),
+        initializer=_init_shard_worker,
+        initargs=(graph, work, max_pairs),
+    ) as pool:
+        for shard_result in pool.map(_run_shard, shards):
+            for index, seq_pairs, pairs, truncated in shard_result:
+                results[index] = (seq_pairs, pairs, truncated)
+    return results
+
+
+# -- chunk fan-out ------------------------------------------------------------
+
+
+def _run_chunk(payload) -> tuple:
+    (
+        index,
+        chunk,
+        model,
+        memory_budget,
+        compress_mem,
+        reach_backend,
+        max_pairs,
+    ) = payload
+    _silence_obs()
+    from repro.detect.races import detect_races
+    from repro.hb.graph import HBGraph
+
+    graph = HBGraph(
+        chunk,
+        model=model,
+        memory_budget=memory_budget,
+        compress_mem=compress_mem,
+        reach_backend=reach_backend,
+    )
+    detection = detect_races(
+        chunk,
+        model=model,
+        memory_budget=memory_budget,
+        graph=graph,
+        max_pairs_per_location=max_pairs,
+    )
+    return (
+        index,
+        [(c.first.seq, c.second.seq) for c in detection.candidates],
+        detection.pairs_examined,
+        list(detection.truncated_locations),
+    )
+
+
+def run_chunks(
+    chunks: Sequence,
+    model,
+    memory_budget: int,
+    compress_mem: bool,
+    reach_backend: str,
+    max_pairs: int,
+    workers: int,
+) -> List[Tuple[List[tuple], int, list]]:
+    """Detect races inside each chunk trace in a process pool.  Returns
+    one ``(seq_pairs, pairs_examined, truncated_locations)`` triple per
+    chunk, in chunk order."""
+    payloads = [
+        (
+            index,
+            chunk,
+            model,
+            memory_budget,
+            compress_mem,
+            reach_backend,
+            max_pairs,
+        )
+        for index, chunk in enumerate(chunks)
+    ]
+    results: List = [None] * len(chunks)
+    ctx = _mp_context()
+    with ctx.Pool(processes=min(workers, len(chunks))) as pool:
+        for index, seq_pairs, pairs, truncated in pool.imap_unordered(
+            _run_chunk, payloads
+        ):
+            results[index] = (seq_pairs, pairs, truncated)
+    return results

@@ -2,14 +2,23 @@
 
 A candidate is a pair of memory accesses ``(s, t)`` that touch the same
 location, with at least one write, and are *concurrent* (no HB path either
-way).  Enumeration is per-location; same-segment pairs are skipped up
-front (program order always orders them), and the HB graph answers the
-rest in constant time per query via bit sets.
+way).  Enumeration is per-location and segment-grouped: same-segment
+pairs (which program order always orders) are excluded wholesale
+instead of being skipped one pair at a time, so a location dominated by
+one hot handler loop costs O(cross-segment pairs), not O(accesses²).
+The HB graph answers the surviving pairs in constant time per query.
+
+Locations are independent, so enumeration can also be sharded across a
+process pool (``workers=``); the shards run this module's own
+enumeration code and the results are merged in location order, making
+the parallel candidate list identical to the serial one.
 """
 
 from __future__ import annotations
 
+import sys
 import time
+from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -67,6 +76,14 @@ class DetectionResult:
     candidates: List[Candidate]
     analysis_seconds: float
     pairs_examined: int
+    #: Locations whose pair enumeration hit ``max_pairs_per_location``
+    #: and was cut short — their remaining pairs were NOT examined.
+    #: Empty means the candidate list is complete.  Never silent: a
+    #: non-empty list is also warned about on stderr and counted on the
+    #: ``detect_truncated_locations_total`` metric.
+    truncated_locations: List[Location] = field(default_factory=list)
+    #: Worker processes used for enumeration (1 = in-process serial).
+    workers: int = 1
 
     def static_pairs(self) -> Dict[frozenset, List[Candidate]]:
         grouped: Dict[frozenset, List[Candidate]] = defaultdict(list)
@@ -87,45 +104,135 @@ class DetectionResult:
         return len(self.callstack_pairs())
 
 
+def _conflicting_pairs_at(
+    accesses: List[OpEvent],
+    graph: HBGraph,
+    max_pairs: int,
+) -> Tuple[List[Tuple[OpEvent, OpEvent]], int, bool]:
+    """Enumerate one location's conflicting concurrent pairs.
+
+    Pairs are visited in ``(i, j)`` index order (ascending ``seq``),
+    exactly like the original nested loop, but the inner loop only ever
+    touches *eligible* partners: accesses in other segments, writes
+    only when ``a`` is a read.  Hot single-segment loops therefore cost
+    nothing per skipped pair.  Returns ``(found, pairs, truncated)``
+    where ``pairs`` counts eligible pairs (examined plus the one that
+    tripped the cap) and ``truncated`` reports whether the cap cut
+    enumeration short.
+    """
+    by_segment_all: Dict[int, List[int]] = defaultdict(list)
+    by_segment_writes: Dict[int, List[int]] = defaultdict(list)
+    for index, access in enumerate(accesses):
+        by_segment_all[access.segment].append(index)
+        if access.kind is OpKind.MEM_WRITE:
+            by_segment_writes[access.segment].append(index)
+
+    found: List[Tuple[OpEvent, OpEvent]] = []
+    pairs = 0
+    truncated = False
+    for i, a in enumerate(accesses):
+        groups = (
+            by_segment_writes
+            if a.kind is OpKind.MEM_READ
+            else by_segment_all
+        )
+        eligible: List[int] = []
+        for segment, indices in groups.items():
+            if segment == a.segment:
+                continue  # program order covers same-segment pairs
+            k = bisect_right(indices, i)
+            eligible.extend(indices[k:])
+        eligible.sort()
+        for j in eligible:
+            pairs += 1
+            if pairs > max_pairs:
+                truncated = True
+                break
+            b = accesses[j]
+            if graph.concurrent(a, b):
+                found.append((a, b))
+        if truncated:
+            break
+    return found, pairs, truncated
+
+
 def detect_races(
     trace: Trace,
     model: HBModel = FULL_MODEL,
     memory_budget: int = DEFAULT_MEMORY_BUDGET,
     graph: Optional[HBGraph] = None,
     max_pairs_per_location: int = 200_000,
+    workers: Optional[int] = None,
+    reach_backend: str = "bitset",
 ) -> DetectionResult:
-    """Run trace analysis: build the HB graph, enumerate candidates."""
+    """Run trace analysis: build the HB graph, enumerate candidates.
+
+    ``workers`` shards per-location enumeration across a process pool
+    (``None``/``1`` = serial, ``0`` = one worker per CPU); the candidate
+    list is identical for every worker count.  ``reach_backend`` selects
+    the reachability engine when the graph is built here (ignored when a
+    prebuilt ``graph`` is passed).
+    """
     started = time.perf_counter()
     if graph is None:
-        graph = HBGraph(trace, model=model, memory_budget=memory_budget)
+        graph = HBGraph(
+            trace,
+            model=model,
+            memory_budget=memory_budget,
+            reach_backend=reach_backend,
+        )
 
     by_location: Dict[Location, List[OpEvent]] = defaultdict(list)
     for record in trace.records:
         if record.is_mem and record.location is not None:
             by_location[record.location].append(record)
+    # Only locations with at least one write can produce candidates.
+    work: List[Tuple[Location, List[OpEvent]]] = [
+        (location, accesses)
+        for location, accesses in by_location.items()
+        if any(a.kind is OpKind.MEM_WRITE for a in accesses)
+    ]
+
+    from repro.detect.parallel import resolve_workers, run_location_shards
+
+    effective_workers = min(resolve_workers(workers), max(1, len(work)))
 
     candidates: List[Candidate] = []
+    truncated_locations: List[Location] = []
     examined = 0
-    with obs.span("detect.enumerate", locations=len(by_location)):
-        for location, accesses in by_location.items():
-            writes = [a for a in accesses if a.kind is OpKind.MEM_WRITE]
-            if not writes:
-                continue
-            pairs = 0
-            for i, a in enumerate(accesses):
-                for b in accesses[i + 1:]:
-                    if a.kind is OpKind.MEM_READ and b.kind is OpKind.MEM_READ:
-                        continue
-                    if a.segment == b.segment:
-                        continue  # program order covers these
-                    pairs += 1
-                    if pairs > max_pairs_per_location:
-                        break
-                    if graph.concurrent(a, b):
-                        candidates.append(Candidate(a, b))
-                if pairs > max_pairs_per_location:
-                    break
-            examined += pairs
+    with obs.span(
+        "detect.enumerate",
+        locations=len(by_location),
+        workers=effective_workers,
+    ):
+        if effective_workers > 1:
+            # Finish the reachability structure first so forked workers
+            # inherit it instead of each recomputing it.
+            graph.reach_stats()
+            by_seq = {r.seq: r for r in trace.records}
+            shard_results = run_location_shards(
+                graph, work, max_pairs_per_location, effective_workers
+            )
+            for (location, _accesses), (seq_pairs, pairs, truncated) in zip(
+                work, shard_results
+            ):
+                examined += pairs
+                if truncated:
+                    truncated_locations.append(location)
+                for first_seq, second_seq in seq_pairs:
+                    candidates.append(
+                        Candidate(by_seq[first_seq], by_seq[second_seq])
+                    )
+        else:
+            for location, accesses in work:
+                found, pairs, truncated = _conflicting_pairs_at(
+                    accesses, graph, max_pairs_per_location
+                )
+                examined += pairs
+                if truncated:
+                    truncated_locations.append(location)
+                for a, b in found:
+                    candidates.append(Candidate(a, b))
 
     obs.counter("detect_pairs_examined_total", "access pairs HB-checked").inc(
         examined
@@ -133,6 +240,20 @@ def detect_races(
     obs.counter(
         "detect_candidates_total", "concurrent conflicting pairs found"
     ).inc(len(candidates))
+    obs.gauge("detect_workers", "processes used by the last detection").set(
+        effective_workers
+    )
+    if truncated_locations:
+        obs.counter(
+            "detect_truncated_locations_total",
+            "locations whose pair enumeration hit max_pairs_per_location",
+        ).inc(len(truncated_locations))
+        print(
+            f"warning: detection truncated {len(truncated_locations)} "
+            f"location(s) at {max_pairs_per_location} pairs each; "
+            "see DetectionResult.truncated_locations",
+            file=sys.stderr,
+        )
     elapsed = time.perf_counter() - started
     return DetectionResult(
         trace=trace,
@@ -140,4 +261,6 @@ def detect_races(
         candidates=candidates,
         analysis_seconds=elapsed,
         pairs_examined=examined,
+        truncated_locations=truncated_locations,
+        workers=effective_workers,
     )

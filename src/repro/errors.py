@@ -63,6 +63,16 @@ class TraceAnalysisOOM(ReproError):
         self.required_bytes = required_bytes
         self.budget_bytes = budget_bytes
 
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with self.args
+        # (just the message) and would drop the byte counts — this
+        # exception crosses process boundaries when a parallel chunk
+        # worker overruns its memory budget.
+        return (
+            type(self),
+            (self.args[0], self.required_bytes, self.budget_bytes),
+        )
+
 
 class SimFailure(Exception):
     """Base class for failures raised by simulated system code."""

@@ -31,9 +31,9 @@ from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
-from repro.errors import TraceAnalysisOOM
 from repro.hb.model import FULL_MODEL, HBModel
 from repro.hb.pull import PullEdge, infer_pull_edges
+from repro.hb.reach import REACH_BACKENDS, build_reachability
 from repro.runtime.ops import HB_KINDS, OpEvent, OpKind
 from repro.trace.store import Trace
 
@@ -52,16 +52,27 @@ class HBGraph:
         model: HBModel = FULL_MODEL,
         memory_budget: int = DEFAULT_MEMORY_BUDGET,
         compress_mem: bool = True,
+        reach_backend: str = "bitset",
     ) -> None:
         """``compress_mem=False`` runs the paper's original algorithm —
         a reachability bit set for *every* vertex including memory
         accesses — which is what runs out of memory on unselective
         traces (Table 8).  The default compresses memory accesses to
-        segment positions."""
+        segment positions.
+
+        ``reach_backend`` selects the reachability engine: ``"bitset"``
+        (the paper's O(n²/8)-byte bit matrix) or ``"chain"`` (segment-
+        chain compression, O(n·chains) — see ``repro.hb.reach``)."""
+        if reach_backend not in REACH_BACKENDS:
+            raise ValueError(
+                f"unknown reach_backend {reach_backend!r}; "
+                f"expected one of {REACH_BACKENDS}"
+            )
         self.trace = trace
         self.model = model
         self.memory_budget = memory_budget
         self.compress_mem = compress_mem
+        self.reach_backend = reach_backend
         self.edge_counts: Dict[str, int] = defaultdict(int)
 
         with obs.span("hb.build", records=len(trace)):
@@ -96,7 +107,7 @@ class HBGraph:
                 r.seq: i for i, r in enumerate(self.backbone)
             }
             self._succ: List[Set[int]] = [set() for _ in self.backbone]
-            self._reach: Optional[List[int]] = None
+            self._reach = None  # lazily built backend (repro.hb.reach)
 
             # Per-segment backbone positions, for nearest-backbone lookups.
             self._seg_backbone_pos: Dict[int, List[int]] = defaultdict(list)
@@ -178,41 +189,35 @@ class HBGraph:
 
     # -- reachability -------------------------------------------------------------
 
-    def _ensure_reach(self) -> List[int]:
+    def _ensure_reach(self):
         if self._reach is None:
-            self._reach = self._compute_reach()
+            with obs.span(
+                "hb.reach",
+                backbone=len(self.backbone),
+                backend=self.reach_backend,
+            ):
+                self._reach = build_reachability(self)
+                stats = self._reach.stats()
+                obs.gauge(
+                    "hb_reach_matrix_bytes",
+                    "reachability structure size (bytes)",
+                ).set(stats["bytes"])
+                if "chains" in stats:
+                    obs.gauge(
+                        "hb_reach_chains",
+                        "chains in the compressed reachability structure",
+                    ).set(stats["chains"])
         return self._reach
 
-    def _compute_reach(self) -> List[int]:
-        n = len(self.backbone)
-        required = (n * n) // 8
-        if required > self.memory_budget:
-            raise TraceAnalysisOOM(
-                f"reachability matrix needs ~{required // (1024 * 1024)} MB "
-                f"for {n} backbone vertices, budget is "
-                f"{self.memory_budget // (1024 * 1024)} MB",
-                required_bytes=required,
-                budget_bytes=self.memory_budget,
-            )
-        with obs.span("hb.reach", backbone=n):
-            obs.gauge(
-                "hb_reach_matrix_bytes",
-                "estimated reachability bit-matrix size",
-            ).set(required)
-            reach = [0] * n
-            for i in range(n - 1, -1, -1):
-                acc = 0
-                for j in self._succ[i]:
-                    acc |= reach[j] | (1 << j)
-                reach[i] = acc
-        return reach
+    def reach_stats(self) -> Dict[str, int]:
+        """Size statistics of the (built-on-demand) reachability backend."""
+        return self._ensure_reach().stats()
 
     def backbone_reaches(self, i: int, j: int) -> bool:
         """Strict reachability between backbone indices."""
         if i == j:
             return False
-        reach = self._ensure_reach()
-        return bool((reach[i] >> j) & 1)
+        return self._ensure_reach().reaches(i, j)
 
     # -- nearest-backbone lookups ----------------------------------------------
 

@@ -16,6 +16,7 @@ checked against two independent implementations:
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional
 
 from repro.hb.graph import HBGraph
@@ -33,13 +34,32 @@ class NaiveReachability:
         cached = self._memo.get(i)
         if cached is not None:
             return cached
-        result = set()
-        for j in self.graph._succ[i]:
-            result.add(j)
-            result |= self._reachable_from(j)
-        frozen = frozenset(result)
-        self._memo[i] = frozen
-        return frozen
+        # Iterative post-order DFS: program-order chains routinely exceed
+        # Python's recursion limit (a few thousand backbone vertices in
+        # one segment), so an explicit stack is required.
+        succ = self.graph._succ
+        stack = [(i, iter(succ[i]))]
+        on_stack = {i}
+        while stack:
+            node, it = stack[-1]
+            pushed = False
+            for j in it:
+                if j in self._memo or j in on_stack:
+                    continue
+                stack.append((j, iter(succ[j])))
+                on_stack.add(j)
+                pushed = True
+                break
+            if pushed:
+                continue
+            stack.pop()
+            on_stack.discard(node)
+            result = set()
+            for j in succ[node]:
+                result.add(j)
+                result |= self._memo[j]
+            self._memo[node] = frozenset(result)
+        return self._memo[i]
 
     def backbone_reaches(self, i: int, j: int) -> bool:
         return j in self._reachable_from(i)
@@ -65,9 +85,25 @@ class NaiveReachability:
 
 
 class VectorClockEngine:
-    """Vector clocks over backbone vertices, one component per segment."""
+    """Vector clocks over backbone vertices, one component per segment.
 
-    def __init__(self, graph: HBGraph) -> None:
+    The encoding assumes each segment's backbone is a chain (later
+    vertices inherit earlier ones' clocks), which only program-order
+    edges guarantee.  Constructing the engine on a graph whose model
+    disables program order is therefore rejected by default; pass
+    ``strict=False`` to get the (possibly unsound) engine plus a
+    ``UserWarning`` — the ablation benches do this deliberately.
+    """
+
+    def __init__(self, graph: HBGraph, strict: bool = True) -> None:
+        if not graph.model.program_order:
+            message = (
+                "VectorClockEngine is only exact when program-order edges "
+                "are enabled; this graph's model disables program_order"
+            )
+            if strict:
+                raise ValueError(message)
+            warnings.warn(message, UserWarning, stacklevel=2)
         self.graph = graph
         self._segment_ids = sorted(graph._seg_backbone_idx.keys())
         self._component = {seg: k for k, seg in enumerate(self._segment_ids)}

@@ -46,6 +46,13 @@ class PipelineConfig:
     scope: str = "selective"  # or "full" (Table 8's alternative design)
     model: HBModel = FULL_MODEL
     memory_budget: int = DEFAULT_MEMORY_BUDGET
+    #: Reachability engine for trace analysis: "bitset" (the paper's
+    #: bit matrix) or "chain" (segment-chain compression, lower memory).
+    reach_backend: str = "bitset"
+    #: Worker processes for candidate enumeration: 1 = serial (the
+    #: default), 0 = one per CPU, N = exactly N.  Any value returns the
+    #: same candidates.
+    detect_workers: int = 1
     interprocedural_depth: int = 1
     prune: bool = True
     trigger: bool = True
@@ -241,7 +248,11 @@ class DCatch:
             started = time.perf_counter()
             with obs.span("pipeline.analysis"):
                 detection = detect_races(
-                    trace, model=config.model, memory_budget=config.memory_budget
+                    trace,
+                    model=config.model,
+                    memory_budget=config.memory_budget,
+                    workers=config.detect_workers,
+                    reach_backend=config.reach_backend,
                 )
                 reports_pre = ReportSet.from_detection(detection)
             reports = reports_pre

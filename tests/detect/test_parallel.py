@@ -1,0 +1,132 @@
+"""Parallel detection: sharded and chunked runs must equal serial runs,
+and truncation at ``max_pairs_per_location`` must never be silent."""
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.detect import detect_races
+from repro.detect.chunked import detect_races_chunked
+from repro.detect.parallel import resolve_workers
+from repro.errors import TraceAnalysisOOM
+from repro.runtime import Cluster
+from repro.trace import FullScope, Tracer
+
+
+def _racy_trace(seed=0, writers=3):
+    """Several threads racing on two shared variables (two locations)."""
+    cluster = Cluster(seed=seed)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    node = cluster.add_node("n")
+    x = node.shared_var("x", 0)
+    y = node.shared_var("y", 0)
+
+    def make_body(i):
+        def body():
+            x.set(i)
+            y.get()
+            y.set(i)
+
+        return body
+
+    for i in range(writers):
+        node.spawn(make_body(i), name=f"w{i}")
+    cluster.run()
+    return tracer.trace
+
+
+def _seq_pairs(detection):
+    return [(c.first.seq, c.second.seq) for c in detection.candidates]
+
+
+def test_resolve_workers_normalizes():
+    import os
+
+    assert resolve_workers(None) == 1
+    assert resolve_workers(1) == 1
+    assert resolve_workers(3) == 3
+    assert resolve_workers(-2) == 1
+    assert resolve_workers(0) == (os.cpu_count() or 1)
+
+
+def test_sharded_detection_matches_serial():
+    for seed in (0, 1):
+        trace = _racy_trace(seed=seed)
+        serial = detect_races(trace)
+        parallel = detect_races(trace, workers=2)
+        assert serial.candidates  # the workload really races
+        assert _seq_pairs(parallel) == _seq_pairs(serial)  # order included
+        assert parallel.pairs_examined == serial.pairs_examined
+        assert parallel.truncated_locations == serial.truncated_locations
+        assert serial.workers == 1
+        assert parallel.workers == 2
+
+
+def test_chunked_parallel_matches_chunked_serial():
+    for seed in (0, 1):
+        trace = _racy_trace(seed=seed, writers=4)
+        serial = detect_races_chunked(trace, chunk_size=8, overlap=2)
+        parallel = detect_races_chunked(
+            trace, chunk_size=8, overlap=2, workers=2
+        )
+        assert serial.chunks > 1
+        assert _seq_pairs(parallel) == _seq_pairs(serial)
+        assert parallel.per_chunk_counts == serial.per_chunk_counts
+        assert parallel.truncated_locations == serial.truncated_locations
+        assert parallel.workers == 2
+
+
+def test_truncation_is_recorded_counted_and_warned(capsys):
+    trace = _racy_trace(writers=4)
+    registry = obs.MetricsRegistry(name="trunc")
+    with obs.use_registry(registry):
+        result = detect_races(trace, max_pairs_per_location=1)
+    assert result.truncated_locations  # the cap really bit
+    counter = registry.counter("detect_truncated_locations_total")
+    assert counter.value == len(result.truncated_locations)
+    err = capsys.readouterr().err
+    assert "truncated" in err
+    assert str(len(result.truncated_locations)) in err
+    # The complete run examines more pairs and is not truncated.
+    full = detect_races(trace)
+    assert not full.truncated_locations
+    assert full.pairs_examined > result.pairs_examined
+
+
+def test_truncation_identical_under_sharding():
+    trace = _racy_trace(writers=4)
+    serial = detect_races(trace, max_pairs_per_location=2)
+    parallel = detect_races(trace, max_pairs_per_location=2, workers=2)
+    assert serial.truncated_locations
+    assert parallel.truncated_locations == serial.truncated_locations
+    assert _seq_pairs(parallel) == _seq_pairs(serial)
+
+
+def test_oom_error_survives_pickling():
+    """Chunk workers raise TraceAnalysisOOM across the process pool; the
+    three-argument constructor must round-trip through pickle."""
+    original = TraceAnalysisOOM("too big", required_bytes=10, budget_bytes=5)
+    clone = pickle.loads(pickle.dumps(original))
+    assert isinstance(clone, TraceAnalysisOOM)
+    assert str(clone) == "too big"
+    assert clone.required_bytes == 10
+    assert clone.budget_bytes == 5
+
+
+def test_parallel_chunks_propagate_oom():
+    trace = _racy_trace(writers=4)
+    with pytest.raises(TraceAnalysisOOM) as info:
+        detect_races_chunked(
+            trace, chunk_size=20, overlap=4, memory_budget=1, workers=2
+        )
+    # The exception crossed a process boundary with its payload intact.
+    assert info.value.required_bytes > info.value.budget_bytes == 1
+
+
+def test_detection_with_chain_backend_matches_bitset():
+    trace = _racy_trace()
+    bitset = detect_races(trace)
+    chain = detect_races(trace, reach_backend="chain")
+    assert _seq_pairs(chain) == _seq_pairs(bitset)
+    assert chain.graph.reach_stats()["backend"] == "chain"

@@ -2,7 +2,9 @@
 
 import itertools
 
-from repro.hb import HBGraph, NaiveReachability, VectorClockEngine
+import pytest
+
+from repro.hb import HBGraph, HBModel, NaiveReachability, VectorClockEngine
 from repro.runtime import Cluster, sleep
 from repro.trace import FullScope, Tracer
 
@@ -72,6 +74,19 @@ def test_vector_clock_dimensions_grow_with_handlers():
     # One dimension per segment: more handler invocations, more dimensions
     # (the cost the paper avoids with bit sets).
     assert vc.dimensions >= 5
+
+
+def test_vector_clocks_require_program_order():
+    """The vector-clock encoding assumes per-segment chains, which only
+    program-order edges guarantee: constructing it on an ablated graph
+    must fail loudly (or warn, when explicitly opted into)."""
+    trace = _trace(0)
+    graph = HBGraph(trace, model=HBModel(program_order=False))
+    with pytest.raises(ValueError, match="program.order"):
+        VectorClockEngine(graph)
+    with pytest.warns(UserWarning, match="program.order"):
+        vc = VectorClockEngine(graph, strict=False)
+    assert vc.dimensions >= 1  # the unsound engine is still usable
 
 
 def test_hb_is_a_strict_partial_order():

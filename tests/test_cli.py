@@ -149,3 +149,34 @@ def test_trace_stats_flag(capsys):
     assert "by category:" in out
     assert "bytes by category:" in out
     assert "hb ops:" in out
+
+
+def test_analysis_flags_parse_and_default():
+    parser = build_parser()
+    args = parser.parse_args(["run", "ZK-1144"])
+    assert args.workers == 1
+    assert args.reach_backend == "bitset"
+    args = parser.parse_args(
+        ["run", "ZK-1144", "--workers", "2", "--reach-backend", "chain"]
+    )
+    assert args.workers == 2
+    assert args.reach_backend == "chain"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "ZK-1144", "--reach-backend", "sparse"])
+
+
+def test_run_with_chain_backend_and_workers(capsys):
+    assert main(
+        [
+            "run",
+            "ZK-1270",
+            "--no-trigger",
+            "--workers",
+            "2",
+            "--reach-backend",
+            "chain",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "DCatch on ZK-1270" in out
+    assert "DCatch reports" in out
