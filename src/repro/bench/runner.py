@@ -154,7 +154,65 @@ def all_bug_ids():
 # -- machine-readable pipeline benchmark ------------------------------------------
 
 
-def _bench_one(bug_id: str) -> Dict[str, object]:
+def _stage_spans(tracer) -> Dict[str, Dict[str, float]]:
+    stages: Dict[str, Dict[str, float]] = {}
+    for span in tracer.roots():
+        if not span.name.startswith("pipeline."):
+            continue
+        stage = span.name.split(".", 1)[1]
+        stages[stage] = {
+            "wall_seconds": round(span.wall_seconds, 6),
+            "cpu_seconds": round(span.cpu_seconds, 6),
+        }
+    return stages
+
+
+def _bench_durable(bug_id: str, trace_dir: str, baseline_tracing: float):
+    """Re-run the monitored stage with the WAL on; report the overhead
+    of durable tracing relative to the in-memory tracing stage, plus
+    what salvage recovers from the written log."""
+    import os
+
+    from repro import obs
+    from repro.trace.salvage import salvage_trace
+
+    workload = workload_by_id(bug_id)
+    registry = obs.MetricsRegistry(name=f"{bug_id}-durable")
+    tracer = obs.SpanTracer(name=f"{bug_id}-durable")
+    with obs.use_registry(registry), obs.use_tracer(tracer):
+        result = DCatch(
+            workload, PipelineConfig(trigger=False, trace_dir=trace_dir)
+        ).run()
+    durable_tracing = _stage_spans(tracer).get("tracing", {}).get(
+        "wall_seconds", 0.0
+    )
+    wal_dir = os.path.join(
+        trace_dir, bug_id, f"seed-{result.monitored_result.seed}"
+    )
+    _, report = salvage_trace(wal_dir)
+    snapshot = registry.snapshot()
+
+    def metric(name):
+        return int(snapshot.get(name, {}).get("value", 0))
+
+    return {
+        "wall_seconds": durable_tracing,
+        "overhead_seconds": round(durable_tracing - baseline_tracing, 6),
+        "overhead_ratio": round(
+            durable_tracing / baseline_tracing, 3
+        ) if baseline_tracing > 0 else None,
+        "wal_records": metric("wal_records_written_total"),
+        "wal_segments_sealed": metric("wal_segments_sealed_total"),
+        "wal_bytes": metric("wal_bytes_written_total"),
+        "salvage": {
+            "damaged": report.damaged,
+            "records_recovered": report.records_recovered,
+            "records_quarantined": report.records_quarantined,
+        },
+    }
+
+
+def _bench_one(bug_id: str, trace_dir: Optional[str] = None) -> Dict[str, object]:
     """Per-stage wall/CPU time plus trace size for one benchmark."""
     from repro import obs
     from repro.trace.stats import compute_stats
@@ -165,17 +223,9 @@ def _bench_one(bug_id: str) -> Dict[str, object]:
     with obs.use_registry(registry), obs.use_tracer(tracer):
         result = DCatch(workload, PipelineConfig()).run()
 
-    stages: Dict[str, Dict[str, float]] = {}
-    for span in tracer.roots():
-        if not span.name.startswith("pipeline."):
-            continue
-        stage = span.name.split(".", 1)[1]
-        stages[stage] = {
-            "wall_seconds": round(span.wall_seconds, 6),
-            "cpu_seconds": round(span.cpu_seconds, 6),
-        }
+    stages = _stage_spans(tracer)
     stats = compute_stats(result.trace)
-    return {
+    entry = {
         "bug_id": bug_id,
         "system": workload.info.system,
         "stages": stages,
@@ -187,9 +237,18 @@ def _bench_one(bug_id: str) -> Dict[str, object]:
         },
         "reports": len(result.reports) if result.reports is not None else 0,
     }
+    if trace_dir is not None:
+        entry["durable_tracing"] = _bench_durable(
+            bug_id,
+            trace_dir,
+            stages.get("tracing", {}).get("wall_seconds", 0.0),
+        )
+    return entry
 
 
-def bench_pipeline_data(bug_ids=BENCH_REPRESENTATIVES) -> Dict[str, object]:
+def bench_pipeline_data(
+    bug_ids=BENCH_REPRESENTATIVES, trace_dir: Optional[str] = None
+) -> Dict[str, object]:
     """The ``BENCH_pipeline.json`` document: one entry per mini system."""
     import platform
     import sys
@@ -199,15 +258,19 @@ def bench_pipeline_data(bug_ids=BENCH_REPRESENTATIVES) -> Dict[str, object]:
         "version": 1,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
-        "benchmarks": [_bench_one(bug_id) for bug_id in bug_ids],
+        "benchmarks": [_bench_one(bug_id, trace_dir) for bug_id in bug_ids],
     }
 
 
-def write_bench_json(path=BENCH_JSON_PATH, bug_ids=BENCH_REPRESENTATIVES) -> Path:
+def write_bench_json(
+    path=BENCH_JSON_PATH,
+    bug_ids=BENCH_REPRESENTATIVES,
+    trace_dir: Optional[str] = None,
+) -> Path:
     import json
 
     path = Path(path)
-    document = bench_pipeline_data(bug_ids)
+    document = bench_pipeline_data(bug_ids, trace_dir)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path
 
@@ -429,13 +492,22 @@ def main(argv=None) -> int:
         help="worker processes for the detect bench's parallel modes "
         "(default: min(4, cpu_count))",
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="also measure durable (write-ahead logged) tracing overhead, "
+        "writing WALs under DIR (pipeline bench only)",
+    )
     args = parser.parse_args(argv)
     if args.detect:
         path = write_bench_detect_json(
             args.out or BENCH_DETECT_JSON_PATH, args.bugs, args.workers
         )
     else:
-        path = write_bench_json(args.out or BENCH_JSON_PATH, args.bugs)
+        path = write_bench_json(
+            args.out or BENCH_JSON_PATH, args.bugs, args.trace_dir
+        )
     print(f"bench results written to {path}")
     return 0
 

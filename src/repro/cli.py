@@ -10,11 +10,15 @@ Subcommands::
     dcatch table all                # regenerate everything
     dcatch trace ZK-1144 --out DIR  # save the monitored run's trace files
     dcatch trace ZK-1144 --stats    # per-category trace statistics
+    dcatch trace --load DIR --stats # statistics of a saved trace
+    dcatch run MR-3274 --trace-dir ./wal  # durable write-ahead tracing
+    dcatch salvage ./wal/MR-3274/seed-0   # recover a trace from a WAL
     dcatch profile minimr 3274      # per-stage span table + exports
     dcatch metrics ZK-1144          # metrics registry after one run
 
-Unknown benchmark/system/workload names exit with status 2 and a
-one-line error on stderr instead of a traceback.
+Unknown benchmark/system/workload names — and malformed/corrupt trace
+files — exit with status 2 and a one-line error on stderr instead of a
+traceback.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.errors import UnknownBenchmarkError
+from repro.errors import TraceFormatError, UnknownBenchmarkError
 
 
 def _resolve(args: argparse.Namespace):
@@ -64,6 +68,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         monitored_seed=args.seed,
         detect_workers=args.workers,
         reach_backend=args.reach_backend,
+        trace_dir=args.trace_dir,
+        trigger_max_wait=args.trigger_max_wait,
     )
     result = DCatch(workload, config).run()
     print(result.summary())
@@ -147,8 +153,22 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace import Trace, Tracer, compute_stats, selective_scope_for
+
+    if args.load:
+        # Operate on saved trace files instead of running a benchmark.
+        # Malformed/corrupt JSON exits 2 via the TraceFormatError catch
+        # in main() — not an uncaught traceback.
+        trace = Trace.load(args.load)
+        print(f"loaded {len(trace)} records from {args.load}")
+        if args.stats:
+            print()
+            print(compute_stats(trace).render())
+        return 0
+    if not args.bug_id:
+        print("error: a benchmark id (or --load DIR) is required", file=sys.stderr)
+        return 2
     from repro.systems import workload_by_id
-    from repro.trace import Tracer, compute_stats, selective_scope_for
 
     workload = workload_by_id(args.bug_id)
     cluster = workload.cluster(args.seed)
@@ -166,6 +186,41 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             f"({len(tracer.trace.per_thread)} thread files) to {args.out}"
         )
     return 0
+
+
+def _cmd_salvage(args: argparse.Namespace) -> int:
+    """Recover a trace from a WAL directory; never dies on damage."""
+    import json
+
+    from repro.trace import compute_stats, salvage_trace
+
+    trace, report = salvage_trace(args.wal_dir)
+    print(report.render())
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"salvage report written to {args.report}")
+    if args.out:
+        trace.save(args.out)
+        print(
+            f"salvaged trace saved to {args.out} "
+            f"({len(trace)} records, {len(trace.per_thread)} thread files)"
+        )
+    if args.stats and len(trace):
+        print()
+        print(compute_stats(trace).render())
+    if args.analyze:
+        from repro.detect import detect_races
+
+        detection = detect_races(trace)
+        print()
+        print(
+            f"trace analysis: {len(detection.candidates)} dynamic pairs, "
+            f"{detection.static_count()} static, "
+            f"{detection.callstack_count()} callstack "
+            f"(confidence: {detection.confidence})"
+        )
+    return 0 if len(trace) else 1
 
 
 def _run_profiled(args: argparse.Namespace):
@@ -278,6 +333,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the final bug reports as JSON",
     )
+    run.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        dest="trace_dir",
+        help="also write the monitored run's trace to a crash-tolerant "
+        "write-ahead log under DIR (salvage it with 'salvage')",
+    )
+    run.add_argument(
+        "--trigger-max-wait",
+        type=int,
+        default=None,
+        metavar="TICKS",
+        dest="trigger_max_wait",
+        help="watchdog: release a gated trigger party held longer than "
+        "TICKS logical clock ticks (run counts as not enforced)",
+    )
     _add_analysis_flags(run)
     run.set_defaults(fn=_cmd_run)
 
@@ -305,7 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     explain.set_defaults(fn=_cmd_explain)
 
     trace = sub.add_parser("trace", help="save a monitored run's trace")
-    trace.add_argument("bug_id")
+    trace.add_argument("bug_id", nargs="?", default=None)
     trace.add_argument("--seed", type=int, default=None)
     trace.add_argument("--out", default="./dcatch-trace")
     trace.add_argument(
@@ -313,7 +385,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-category record counts and byte sizes",
     )
+    trace.add_argument(
+        "--load",
+        metavar="DIR",
+        default=None,
+        help="load a saved trace directory instead of running a benchmark",
+    )
     trace.set_defaults(fn=_cmd_trace)
+
+    salvage = sub.add_parser(
+        "salvage",
+        help="recover a trace from a (possibly damaged) write-ahead log",
+    )
+    salvage.add_argument("wal_dir", help="WAL directory (run --trace-dir output)")
+    salvage.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the structured SalvageReport as JSON",
+    )
+    salvage.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="save the recovered trace as per-thread JSONL files",
+    )
+    salvage.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-category statistics of the recovered trace",
+    )
+    salvage.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run HB analysis on the recovered trace (reports confidence)",
+    )
+    salvage.set_defaults(fn=_cmd_salvage)
 
     profile = sub.add_parser(
         "profile",
@@ -371,7 +478,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except UnknownBenchmarkError as exc:
+    except (UnknownBenchmarkError, TraceFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

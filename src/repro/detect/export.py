@@ -14,6 +14,7 @@ def report_to_dict(report: BugReport) -> Dict[str, Any]:
         "report_id": report.report_id,
         "verdict": report.verdict.value,
         "verdict_detail": report.verdict_detail,
+        "confidence": report.confidence,
         "dynamic_instances": report.dynamic_instances,
         "candidates": [
             {
@@ -38,6 +39,7 @@ def report_from_dict(data: Dict[str, Any]) -> BugReport:
     report = BugReport(report_id=data["report_id"], candidates=candidates)
     report.verdict = Verdict(data["verdict"])
     report.verdict_detail = data.get("verdict_detail", "")
+    report.confidence = data.get("confidence", "full")
     return report
 
 

@@ -84,6 +84,11 @@ class DetectionResult:
     truncated_locations: List[Location] = field(default_factory=list)
     #: Worker processes used for enumeration (1 = in-process serial).
     workers: int = 1
+    #: ``"full"`` when the trace was complete; ``"partial"`` when the HB
+    #: graph was built from a damaged/salvaged trace — candidates are
+    #: still sound for the records that survived, but pairs involving
+    #: lost records are missing and some orderings may be unproven.
+    confidence: str = "full"
 
     def static_pairs(self) -> Dict[frozenset, List[Candidate]]:
         grouped: Dict[frozenset, List[Candidate]] = defaultdict(list)
@@ -263,4 +268,5 @@ def detect_races(
         pairs_examined=examined,
         truncated_locations=truncated_locations,
         workers=effective_workers,
+        confidence="partial" if getattr(graph, "partial", False) else "full",
     )

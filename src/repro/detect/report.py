@@ -40,6 +40,10 @@ class BugReport:
     candidates: List[Candidate]
     verdict: Verdict = Verdict.UNKNOWN
     verdict_detail: str = ""
+    #: Inherited from the detection that produced this report:
+    #: ``"partial"`` means the trace was damaged/salvaged and the
+    #: candidate set may be incomplete.
+    confidence: str = "full"
 
     @property
     def representative(self) -> Candidate:
@@ -65,7 +69,8 @@ class BugReport:
         return len(self.candidates)
 
     def describe(self) -> str:
-        lines = [f"DCbug report #{self.report_id} [{self.verdict.value}]"]
+        tag = "" if self.confidence == "full" else f" (confidence: {self.confidence})"
+        lines = [f"DCbug report #{self.report_id} [{self.verdict.value}]{tag}"]
         rep = self.representative
         lines.append(f"  variable: {rep.variable} location={rep.location}")
         for access in rep.accesses():
@@ -89,7 +94,11 @@ class ReportSet:
     def from_detection(cls, detection: DetectionResult) -> "ReportSet":
         grouped = detection.callstack_pairs()
         reports = [
-            BugReport(report_id=i + 1, candidates=candidates)
+            BugReport(
+                report_id=i + 1,
+                candidates=candidates,
+                confidence=detection.confidence,
+            )
             for i, (_key, candidates) in enumerate(
                 sorted(grouped.items(), key=lambda kv: kv[1][0].first.seq)
             )

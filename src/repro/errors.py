@@ -51,6 +51,17 @@ class HangError(ReproError):
         self.steps = steps
 
 
+class TraceFormatError(ReproError):
+    """A serialized trace (JSON lines or WAL) could not be decoded.
+
+    Raised for malformed JSON, records with missing fields, and unknown
+    schema versions.  The CLI catches it and exits with a one-line error
+    (status 2), matching the ``UnknownBenchmarkError`` convention.  The
+    WAL *salvage* path never raises it — damaged records are quarantined
+    into the ``SalvageReport`` instead.
+    """
+
+
 class TraceAnalysisOOM(ReproError):
     """Trace analysis would exceed the configured memory budget.
 

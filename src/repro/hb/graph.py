@@ -27,7 +27,8 @@ reachability matrix exceed the budget, and the analysis refuses to run.
 from __future__ import annotations
 
 import bisect
-from collections import defaultdict
+import sys
+from collections import Counter, defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
@@ -74,6 +75,14 @@ class HBGraph:
         self.compress_mem = compress_mem
         self.reach_backend = reach_backend
         self.edge_counts: Dict[str, int] = defaultdict(int)
+        #: Unmatched HB endpoints, counted per pattern (e.g. a
+        #: ``thread_end_without_join``).  Many patterns are normal — an
+        #: untraced node's messages arrive with no recorded send, a
+        #: timed-out RPC has no Join — but *damage patterns* (an effect
+        #: recorded without its cause on a traced stream) indicate the
+        #: trace lost records, and mark the graph ``partial``.
+        self.unmatched: Counter = Counter()
+        self._damage_patterns: Set[str] = set()
 
         with obs.span("hb.build", records=len(trace)):
             # -- segment structure ---------------------------------------------
@@ -119,9 +128,66 @@ class HBGraph:
 
             with obs.span("hb.edges"):
                 self._build_edges()
+                self._scan_lock_balance()
         self._publish_build_metrics()
+        self._warn_if_partial()
 
     # -- construction -----------------------------------------------------------
+
+    def note_unmatched(self, pattern: str, record: OpEvent, damage: bool = False) -> None:
+        """Count an HB endpoint whose counterpart is missing.
+
+        ``damage=True`` marks patterns that cannot occur in a complete
+        trace (effect without cause on a traced stream): they flip the
+        graph to ``partial`` and downgrade downstream confidence."""
+        self.unmatched[pattern] += 1
+        if damage:
+            self._damage_patterns.add(pattern)
+
+    @property
+    def partial(self) -> bool:
+        """True when this graph was built from a demonstrably incomplete
+        trace — either salvage reported lost records, or the rule modules
+        found damage-indicating unmatched endpoints."""
+        return bool(self._damage_patterns) or bool(
+            getattr(self.trace, "partial", False)
+        )
+
+    @property
+    def damage_patterns(self) -> Set[str]:
+        return set(self._damage_patterns)
+
+    def _scan_lock_balance(self) -> None:
+        """Orphan lock endpoints.  A release without a prior acquire on
+        the same thread can only come from a lost acquire record (locks
+        exist only inside simulated threads); an acquire never released
+        is normal (the holder crashed or the run ended)."""
+        held: Dict[Tuple, int] = defaultdict(int)
+        for record in self.trace.records:
+            if record.kind is OpKind.LOCK_ACQUIRE:
+                held[(record.obj_id, record.tid)] += 1
+            elif record.kind is OpKind.LOCK_RELEASE:
+                key = (record.obj_id, record.tid)
+                if held[key] > 0:
+                    held[key] -= 1
+                else:
+                    self.note_unmatched(
+                        "lock_release_without_acquire", record, damage=True
+                    )
+        for (obj_id, tid), depth in held.items():
+            if depth > 0:
+                self.unmatched["lock_acquire_without_release"] += depth
+
+    def _warn_if_partial(self) -> None:
+        if not self._damage_patterns and not getattr(self.trace, "partial", False):
+            return
+        reasons = sorted(self._damage_patterns) or ["salvaged trace lost records"]
+        print(
+            f"warning: HB graph built from a partial trace "
+            f"({', '.join(reasons)}); downstream candidates are "
+            f'marked confidence="partial"',
+            file=sys.stderr,
+        )
 
     def _publish_build_metrics(self) -> None:
         registry = obs.get_registry()
@@ -140,6 +206,13 @@ class HBGraph:
         edges = registry.counter("hb_edges_total", "HB edges added, by rule")
         for rule, count in self.edge_counts.items():
             edges.labels(rule=rule).inc(count)
+        if self.unmatched:
+            orphans = registry.counter(
+                "hb_unmatched_edges_total",
+                "HB endpoints with no counterpart, by pattern",
+            )
+            for pattern, count in self.unmatched.items():
+                orphans.labels(pattern=pattern).inc(count)
 
     def add_edge(self, seq_from: int, seq_to: int, rule: str) -> bool:
         """Add a backbone edge; both endpoints must be backbone records."""
@@ -279,4 +352,5 @@ class HBGraph:
             "edges": sum(len(s) for s in self._succ),
             "segments": len(self._segments),
             "pull_edges": len(self.pull_edges),
+            "unmatched": sum(self.unmatched.values()),
         }

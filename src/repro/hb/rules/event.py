@@ -27,9 +27,21 @@ def apply_enqueue(graph: "object") -> int:
             begins[record.obj_id].append(record)
     added = 0
     for eid, create in creates.items():
-        for begin in begins.get(eid, []):
+        deliveries = begins.get(eid, [])
+        if not deliveries:
+            # Enqueued but never handled: the queue drained at teardown
+            # or the consumer died — normal, just no edge.
+            graph.note_unmatched("event_create_without_begin", create)
+        for begin in deliveries:
             if graph.add_edge(create.seq, begin.seq, "Eenq"):
                 added += 1
+    for eid, begin_list in begins.items():
+        if eid not in creates:
+            # Handled without a recorded enqueue: normal when the
+            # producer ran in uninstrumented build code, a damage signal
+            # only alongside other evidence — warn, don't flip partial.
+            for begin in begin_list:
+                graph.note_unmatched("event_begin_without_create", begin)
     return added
 
 

@@ -38,23 +38,66 @@ def apply_rpc(graph: "object") -> int:
     added = 0
     for tag, create in creates.items():
         begin = begins.get(tag)
-        if begin is not None and graph.add_edge(create.seq, begin.seq, "Mrpc"):
+        if begin is None:
+            # Server untraced, crashed before the handler began, or the
+            # request never arrived — all normal, no edge to add.
+            graph.note_unmatched("rpc_create_without_begin", create)
+        elif graph.add_edge(create.seq, begin.seq, "Mrpc"):
             added += 1
+    for tag, begin in begins.items():
+        if tag not in creates:
+            # The caller recorded a Join for this tag, so it also
+            # recorded a Create before it — a missing Create means the
+            # caller's trace lost records.  Without a Join the caller
+            # may simply be untraced.
+            graph.note_unmatched(
+                "rpc_begin_without_create", begin, damage=tag in joins
+            )
     for tag, end in ends.items():
         join = joins.get(tag)
-        if join is not None and graph.add_edge(end.seq, join.seq, "Mrpc"):
+        if join is None:
+            # Timed-out or abandoned call: the caller never joined.
+            graph.note_unmatched("rpc_end_without_join", end)
+        elif graph.add_edge(end.seq, join.seq, "Mrpc"):
             added += 1
+    for tag, join in joins.items():
+        if tag not in ends:
+            # A Join implies the caller saw a reply, and a traced server
+            # records End before replying: Join + Begin with no End can
+            # only mean the server's trace lost its tail.
+            graph.note_unmatched(
+                "rpc_join_without_end", join, damage=tag in begins
+            )
     return added
 
 
 def apply_socket(graph: "object") -> int:
     sends = _index(graph, OpKind.SOCK_SEND)
     recvs = _index_multi(graph, OpKind.SOCK_RECV)
+    traced_nodes = {r.node for r in graph.backbone}
     added = 0
     for tag, send in sends.items():
-        for recv in recvs.get(tag, []):
+        deliveries = recvs.get(tag, [])
+        if not deliveries:
+            # Dropped by the network or the receiver crashed: Rule-Msoc
+            # only orders a send with deliveries that happened.
+            graph.note_unmatched("sock_send_without_recv", send)
+        for recv in deliveries:
             if graph.add_edge(send.seq, recv.seq, "Msoc"):
                 added += 1
+    for tag, recv_list in recvs.items():
+        if tag not in sends:
+            for recv in recv_list:
+                # Messages from an untraced node (the coordination
+                # service) legitimately have no recorded send; a send
+                # missing from a node that *did* contribute records
+                # means that node's trace lost it.
+                src = recv.extra.get("src")
+                graph.note_unmatched(
+                    "sock_recv_without_send",
+                    recv,
+                    damage=src is not None and src in traced_nodes,
+                )
     return added
 
 
@@ -63,7 +106,16 @@ def apply_push(graph: "object") -> int:
     pushes = _index_multi(graph, OpKind.ZK_PUSHED)
     added = 0
     for key, update in updates.items():
-        for pushed in pushes.get(key, []):
+        deliveries = pushes.get(key, [])
+        if not deliveries:
+            graph.note_unmatched("zk_update_without_pushed", update)
+        for pushed in deliveries:
             if graph.add_edge(update.seq, pushed.seq, "Mpush"):
                 added += 1
+    for key, pushed_list in pushes.items():
+        if key not in updates:
+            # Service-initiated changes (ephemeral deletes, untraced
+            # writers) notify watchers without a traced Update.
+            for pushed in pushed_list:
+                graph.note_unmatched("zk_pushed_without_update", pushed)
     return added

@@ -33,10 +33,29 @@ def apply_fork_join(graph: "object") -> int:
     added = 0
     for tid, create in creates.items():
         begin = begins.get(tid)
-        if begin is not None and graph.add_edge(create.seq, begin.seq, "Tfork"):
+        if begin is None:
+            # The child never ran (teardown raced the fork) — or its
+            # trace stream was lost.  Either way no edge; warn only.
+            graph.note_unmatched("thread_create_without_begin", create)
+        elif graph.add_edge(create.seq, begin.seq, "Tfork"):
             added += 1
+    for tid, begin in begins.items():
+        if tid not in creates:
+            # Normal for root threads forked from (uninstrumented)
+            # build code, so not a damage signal by itself.
+            graph.note_unmatched("thread_begin_without_create", begin)
     for tid, end in ends.items():
+        if not joins.get(tid):
+            graph.note_unmatched("thread_end_without_join", end)
         for join in joins.get(tid, []):
             if graph.add_edge(end.seq, join.seq, "Tjoin"):
                 added += 1
+    for tid, join_list in joins.items():
+        if tid not in ends:
+            # Joining a thread that recorded no End: normal when the
+            # child failed (modeled aborts skip the End record), damage
+            # when the child's trace tail was lost — indistinguishable
+            # here, so warn without flipping to partial.
+            for join in join_list:
+                graph.note_unmatched("thread_join_without_end", join)
     return added

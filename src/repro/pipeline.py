@@ -57,11 +57,21 @@ class PipelineConfig:
     prune: bool = True
     trigger: bool = True
     trigger_seeds: tuple = (0, 1)
+    #: Watchdog for order enforcement: a gated party held longer than
+    #: this many logical clock ticks is released and the run counts as
+    #: not enforced.  None (default) = idle-release only.
+    trigger_max_wait: Optional[int] = None
     monitored_seed: Optional[int] = None  # None = the workload's default
     #: Optional fault-injection schedule installed on the base and the
     #: monitored run (see ``repro.runtime.faults``).  Trigger re-runs stay
     #: fault-free: they must isolate the racing pair, not the faults.
     fault_plan: Optional[FaultPlan] = None
+    #: Durable tracing: when set, the monitored run's tracer also
+    #: appends every record to a write-ahead log under
+    #: ``<trace_dir>/<bug_id>/seed-<seed>/`` (see ``repro.trace.wal``),
+    #: so a node crashed mid-run leaves a salvageable prefix on disk.
+    #: None (default) keeps tracing purely in memory — zero overhead.
+    trace_dir: Optional[str] = None
     #: Collect metrics and spans for this run (``repro.obs``).  When off,
     #: every instrumentation point hits the no-op registry/tracer and the
     #: result carries an empty ``metrics`` snapshot and no profile.
@@ -127,10 +137,15 @@ class PipelineResult:
             f"{self.trace.size_bytes() / 1024:.1f} KB"
         )
         if self.detection is not None:
+            tag = (
+                ""
+                if self.detection.confidence == "full"
+                else f" (confidence: {self.detection.confidence})"
+            )
             lines.append(
                 f"trace analysis: {len(self.detection.candidates)} dynamic "
                 f"pairs, {self.detection.static_count()} static, "
-                f"{self.detection.callstack_count()} callstack"
+                f"{self.detection.callstack_count()} callstack{tag}"
             )
         if self.prune_result is not None:
             lines.append(f"static pruning: {self.prune_result.summary()}")
@@ -174,9 +189,31 @@ class DCatch:
 
     def run_traced(self) -> tuple:
         cluster = self._build_cluster()
-        tracer = Tracer(scope=self._make_scope(), name=self.workload.info.bug_id)
+        wal = None
+        if self.config.trace_dir:
+            import os
+
+            from repro.trace.wal import WalSink
+
+            # Per-benchmark, per-seed subdirectory so campaign runs over
+            # many seeds never clobber each other's logs.
+            wal = WalSink(
+                os.path.join(
+                    self.config.trace_dir,
+                    self.workload.info.bug_id,
+                    f"seed-{cluster.seed}",
+                )
+            )
+        tracer = Tracer(
+            scope=self._make_scope(), name=self.workload.info.bug_id, wal=wal
+        )
         tracer.bind(cluster)
-        result = cluster.run()
+        try:
+            result = cluster.run()
+        finally:
+            # Seal the surviving WAL streams even when the run blows up —
+            # a salvageable log is the whole point of the durable path.
+            tracer.close()
         return result, tracer.trace
 
     def run(self) -> PipelineResult:
@@ -286,7 +323,9 @@ class DCatch:
                 try:
                     placement = PlacementAnalyzer(trace, detection.graph)
                     module = TriggerModule(
-                        self.workload.factory(), seeds=config.trigger_seeds
+                        self.workload.factory(),
+                        seeds=config.trigger_seeds,
+                        max_wait=config.trigger_max_wait,
                     )
                 except Exception as exc:  # noqa: BLE001
                     stage_failed("trigger", exc)

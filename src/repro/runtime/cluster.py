@@ -170,6 +170,11 @@ class Cluster:
     def add_interceptor(self, interceptor: Interceptor) -> None:
         self.interceptors.append(interceptor)
 
+    def notify_node_crash(self, node: Node) -> None:
+        """Tell every interceptor a node just died (``Node.crash``)."""
+        for interceptor in self.interceptors:
+            interceptor.on_node_crash(node)
+
     def pre_op(
         self,
         kind: OpKind,

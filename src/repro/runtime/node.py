@@ -182,6 +182,7 @@ class Node:
         self.crashed = True
         self.sockets.purge()
         self.rpc_server.fail_pending("node crashed")
+        self.cluster.notify_node_crash(self)
         self.log.warn("node crashed")
 
     def restart(self) -> None:

@@ -115,11 +115,16 @@ class Interceptor:
     ``before`` runs before the operation takes effect and may block the
     current simulated thread (the trigger module's request API).
     ``after`` runs once the operation has executed with its final record
-    (the tracer's append).
+    (the tracer's append).  ``on_node_crash`` fires when a node is
+    marked crashed (fault injection): the tracer uses it to abandon the
+    node's durable trace streams mid-write, the way a real crash would.
     """
 
     def before(self, event: OpEvent) -> None:  # pragma: no cover - default
         pass
 
     def after(self, event: OpEvent) -> None:  # pragma: no cover - default
+        pass
+
+    def on_node_crash(self, node: "object") -> None:  # pragma: no cover
         pass

@@ -8,12 +8,14 @@ from repro.trace.records import (
     CATEGORY_RPC,
     CATEGORY_SOCKET,
     CATEGORY_THREAD,
+    TRACE_SCHEMA_VERSION,
     category_of,
     dump_records,
     load_records,
     record_from_dict,
     record_to_dict,
 )
+from repro.trace.salvage import SalvageReport, salvage_trace
 from repro.trace.scope import (
     FullScope,
     SelectiveScope,
@@ -25,9 +27,15 @@ from repro.trace.scope import (
 from repro.trace.stats import TraceStats, compute_stats, publish_stats
 from repro.trace.store import Trace
 from repro.trace.tracer import Tracer
+from repro.trace.wal import WalSink, WalWriter
 
 __all__ = [
     "Trace",
+    "TRACE_SCHEMA_VERSION",
+    "SalvageReport",
+    "salvage_trace",
+    "WalSink",
+    "WalWriter",
     "TraceStats",
     "compute_stats",
     "publish_stats",

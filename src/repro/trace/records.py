@@ -16,8 +16,15 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List
 
+from repro.errors import TraceFormatError
 from repro.ids import CallStack, Frame
 from repro.runtime.ops import OpEvent, OpKind
+
+#: Version of the on-disk record schema.  Bump when a field changes
+#: meaning; readers reject records from the future instead of silently
+#: misinterpreting them.  Records without a ``"v"`` field predate
+#: versioning and are read as version 1.
+TRACE_SCHEMA_VERSION = 1
 
 CATEGORY_MEM = "mem"
 CATEGORY_RPC = "rpc"
@@ -57,6 +64,7 @@ def category_of(kind: OpKind) -> str:
 def record_to_dict(event: OpEvent) -> Dict[str, Any]:
     """A JSON-serializable view of one record."""
     return {
+        "v": TRACE_SCHEMA_VERSION,
         "seq": event.seq,
         "kind": event.kind.value,
         "obj_id": _jsonable(event.obj_id),
@@ -73,20 +81,33 @@ def record_to_dict(event: OpEvent) -> Dict[str, Any]:
 
 
 def record_from_dict(data: Dict[str, Any]) -> OpEvent:
-    return OpEvent(
-        seq=data["seq"],
-        kind=OpKind(data["kind"]),
-        obj_id=_untuple(data["obj_id"]),
-        node=data["node"],
-        tid=data["tid"],
-        thread_name=data["thread"],
-        segment=data["segment"],
-        callstack=CallStack(Frame(p, f, l) for p, f, l in data["stack"]),
-        location=tuple(data["location"]) if data["location"] else None,
-        observed_write=data["observed_write"],
-        in_handler=data.get("in_handler", False),
-        extra=data.get("extra", {}),
-    )
+    if not isinstance(data, dict):
+        raise TraceFormatError(f"trace record is not an object: {data!r}")
+    version = data.get("v", 1)
+    if version != TRACE_SCHEMA_VERSION:
+        raise TraceFormatError(
+            f"unknown trace schema version {version!r} "
+            f"(this reader understands version {TRACE_SCHEMA_VERSION})"
+        )
+    try:
+        return OpEvent(
+            seq=data["seq"],
+            kind=OpKind(data["kind"]),
+            obj_id=_untuple(data["obj_id"]),
+            node=data["node"],
+            tid=data["tid"],
+            thread_name=data["thread"],
+            segment=data["segment"],
+            callstack=CallStack(Frame(p, f, l) for p, f, l in data["stack"]),
+            location=tuple(data["location"]) if data["location"] else None,
+            observed_write=data["observed_write"],
+            in_handler=data.get("in_handler", False),
+            extra=data.get("extra", {}),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise TraceFormatError(
+            f"malformed trace record ({type(exc).__name__}: {exc})"
+        ) from exc
 
 
 def _jsonable(value: Any) -> Any:
@@ -107,4 +128,18 @@ def dump_records(records: Iterable[OpEvent]) -> str:
 
 
 def load_records(text: str) -> List[OpEvent]:
-    return [record_from_dict(json.loads(line)) for line in text.splitlines() if line]
+    records: List[OpEvent] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"line {lineno}: malformed trace JSON ({exc.msg})"
+            ) from exc
+        try:
+            records.append(record_from_dict(data))
+        except TraceFormatError as exc:
+            raise TraceFormatError(f"line {lineno}: {exc}") from exc
+    return records

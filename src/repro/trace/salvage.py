@@ -1,0 +1,372 @@
+"""Recover a ``Trace`` from a (possibly damaged) WAL directory.
+
+Cloud runs end badly: nodes crash mid-write, disks tear records, files
+go missing.  Salvage never raises on damage — every record that passes
+its framing and CRC checks is recovered, everything else is quarantined
+into a structured ``SalvageReport`` (what was lost, where, and why), and
+the partial ``Trace`` is handed to the analysis pipeline, which degrades
+to ``confidence: "partial"`` results instead of dying.
+
+What counts as damage:
+
+* **torn record** — an ``R`` line whose payload is shorter than its
+  length prefix (a write interrupted mid-record);
+* **CRC mismatch** — payload present but corrupted;
+* **bad JSON / bad record** — payload decodes but is not a valid record;
+* **garbage line** — a line that is not ``H``/``R``/``S`` framed at all;
+* **unsealed segment** — a segment file with no seal marker: its tail
+  (and any records buffered but never flushed) is gone;
+* **seal mismatch** — a seal whose count/CRC disagrees with the records
+  actually read (silent loss *inside* a sealed segment);
+* **missing segment** — a gap in the segment numbering.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import TraceFormatError
+from repro.trace.records import record_from_dict
+from repro.trace.store import Trace
+
+
+@dataclass
+class QuarantinedRecord:
+    """One damaged region of one WAL file."""
+
+    path: str
+    byte_start: int
+    byte_end: int
+    reason: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "byte_start": self.byte_start,
+            "byte_end": self.byte_end,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class ThreadSalvage:
+    """Per-stream (node/thread) recovery accounting."""
+
+    node: str
+    tid: int
+    records_recovered: int = 0
+    records_quarantined: int = 0
+    sealed_segments: int = 0
+    unsealed_segments: int = 0
+    missing_segments: List[int] = field(default_factory=list)
+
+    @property
+    def damaged(self) -> bool:
+        return bool(
+            self.records_quarantined
+            or self.unsealed_segments
+            or self.missing_segments
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "node": self.node,
+            "tid": self.tid,
+            "records_recovered": self.records_recovered,
+            "records_quarantined": self.records_quarantined,
+            "sealed_segments": self.sealed_segments,
+            "unsealed_segments": self.unsealed_segments,
+            "missing_segments": self.missing_segments,
+        }
+
+
+@dataclass
+class SalvageReport:
+    """Everything salvage learned about one WAL directory."""
+
+    directory: str
+    records_recovered: int = 0
+    records_quarantined: int = 0
+    torn_records: int = 0
+    crc_mismatches: int = 0
+    bad_records: int = 0
+    sealed_segments: int = 0
+    unsealed_segments: int = 0
+    seal_mismatches: int = 0
+    missing_segments: List[str] = field(default_factory=list)
+    quarantined: List[QuarantinedRecord] = field(default_factory=list)
+    threads: Dict[str, ThreadSalvage] = field(default_factory=dict)
+
+    @property
+    def damaged(self) -> bool:
+        """Did the WAL lose *anything*?  Drives ``Trace.partial``."""
+        return bool(
+            self.records_quarantined
+            or self.unsealed_segments
+            or self.seal_mismatches
+            or self.missing_segments
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro-salvage-report",
+            "version": 1,
+            "directory": self.directory,
+            "damaged": self.damaged,
+            "records_recovered": self.records_recovered,
+            "records_quarantined": self.records_quarantined,
+            "torn_records": self.torn_records,
+            "crc_mismatches": self.crc_mismatches,
+            "bad_records": self.bad_records,
+            "sealed_segments": self.sealed_segments,
+            "unsealed_segments": self.unsealed_segments,
+            "seal_mismatches": self.seal_mismatches,
+            "missing_segments": self.missing_segments,
+            "quarantined": [q.to_dict() for q in self.quarantined],
+            "threads": {
+                key: t.to_dict() for key, t in sorted(self.threads.items())
+            },
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"salvage of {self.directory}: "
+            + ("DAMAGED" if self.damaged else "clean")
+        ]
+        lines.append(
+            f"  records: {self.records_recovered} recovered, "
+            f"{self.records_quarantined} quarantined "
+            f"({self.torn_records} torn, {self.crc_mismatches} CRC, "
+            f"{self.bad_records} malformed)"
+        )
+        lines.append(
+            f"  segments: {self.sealed_segments} sealed, "
+            f"{self.unsealed_segments} unsealed, "
+            f"{self.seal_mismatches} seal mismatches, "
+            f"{len(self.missing_segments)} missing"
+        )
+        for key, thread in sorted(self.threads.items()):
+            if thread.damaged:
+                lines.append(
+                    f"  {key}: {thread.records_recovered} recovered, "
+                    f"{thread.records_quarantined} quarantined, "
+                    f"{thread.unsealed_segments} unsealed segment(s)"
+                )
+        for q in self.quarantined[:20]:
+            lines.append(
+                f"  quarantined {q.path} bytes {q.byte_start}-{q.byte_end}: "
+                f"{q.reason}"
+            )
+        if len(self.quarantined) > 20:
+            lines.append(
+                f"  ... and {len(self.quarantined) - 20} more quarantined regions"
+            )
+        return "\n".join(lines)
+
+
+def _quarantine(
+    report: SalvageReport,
+    thread: ThreadSalvage,
+    path: str,
+    start: int,
+    end: int,
+    reason: str,
+    kind: str,
+) -> None:
+    report.records_quarantined += 1
+    thread.records_quarantined += 1
+    if kind == "torn":
+        report.torn_records += 1
+    elif kind == "crc":
+        report.crc_mismatches += 1
+    else:
+        report.bad_records += 1
+    report.quarantined.append(
+        QuarantinedRecord(path=path, byte_start=start, byte_end=end, reason=reason)
+    )
+
+
+def _salvage_segment(
+    path: str,
+    report: SalvageReport,
+    thread: ThreadSalvage,
+    records: List[dict],
+) -> None:
+    """Scan one segment file line by line; recover what verifies."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    offset = 0
+    count = 0
+    running_crc = 0
+    sealed = False
+    rel = os.path.relpath(path, report.directory)
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        end = len(data) if newline < 0 else newline
+        line = data[offset:end]
+        torn_tail = newline < 0  # no terminator: the write was cut short
+        if line.startswith(b"H "):
+            pass  # header carries no records
+        elif line.startswith(b"R "):
+            ok = False
+            head, payload = line[:20], line[20:]
+            try:
+                length = int(head[2:10], 16)
+                crc = int(head[11:19], 16)
+            except ValueError:
+                _quarantine(
+                    report, thread, rel, offset, end,
+                    "unparseable record framing", "torn",
+                )
+            else:
+                if torn_tail or len(payload) != length:
+                    _quarantine(
+                        report, thread, rel, offset, end,
+                        f"torn record: {len(payload)} of {length} payload bytes",
+                        "torn",
+                    )
+                elif zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                    _quarantine(
+                        report, thread, rel, offset, end,
+                        "CRC mismatch", "crc",
+                    )
+                else:
+                    try:
+                        records.append(json.loads(payload))
+                        ok = True
+                    except ValueError:
+                        _quarantine(
+                            report, thread, rel, offset, end,
+                            "payload is not valid JSON", "bad",
+                        )
+            if ok:
+                count += 1
+                running_crc = zlib.crc32(payload, running_crc) & 0xFFFFFFFF
+                report.records_recovered += 1
+                thread.records_recovered += 1
+        elif line.startswith(b"S ") and not torn_tail:
+            try:
+                seal_count = int(line[2:10], 16)
+                seal_crc = int(line[11:19], 16)
+            except ValueError:
+                _quarantine(
+                    report, thread, rel, offset, end,
+                    "unparseable seal marker", "torn",
+                )
+            else:
+                sealed = True
+                if seal_count != count or seal_crc != running_crc:
+                    report.seal_mismatches += 1
+                    report.quarantined.append(
+                        QuarantinedRecord(
+                            path=rel,
+                            byte_start=offset,
+                            byte_end=end,
+                            reason=(
+                                f"seal mismatch: sealed {seal_count} records, "
+                                f"read {count}"
+                            ),
+                        )
+                    )
+        elif line:
+            _quarantine(
+                report, thread, rel, offset, end,
+                "unrecognized line framing", "torn" if torn_tail else "bad",
+            )
+        offset = end + 1
+    if sealed:
+        report.sealed_segments += 1
+        thread.sealed_segments += 1
+    else:
+        report.unsealed_segments += 1
+        thread.unsealed_segments += 1
+
+
+def _segment_index(filename: str) -> Optional[int]:
+    if filename.startswith("seg-") and filename.endswith(".wal"):
+        try:
+            return int(filename[4:-4])
+        except ValueError:
+            return None
+    return None
+
+
+def salvage_trace(
+    directory: str, name: str = "salvaged"
+) -> Tuple[Trace, SalvageReport]:
+    """Rebuild a ``Trace`` from a WAL directory, quarantining damage.
+
+    Never raises on damaged content — a WAL directory with no intact
+    record at all yields an empty trace and a report that says so.
+    Raises ``TraceFormatError`` only when ``directory`` is not a WAL
+    directory at all (does not exist / contains no streams)."""
+    if not os.path.isdir(directory):
+        raise TraceFormatError(f"not a WAL directory: {directory}")
+    report = SalvageReport(directory=directory)
+    raw_records: List[dict] = []
+    streams = 0
+    for node in sorted(os.listdir(directory)):
+        node_dir = os.path.join(directory, node)
+        if not os.path.isdir(node_dir):
+            continue
+        for thread_entry in sorted(os.listdir(node_dir)):
+            thread_dir = os.path.join(node_dir, thread_entry)
+            if not os.path.isdir(thread_dir) or not thread_entry.startswith(
+                "thread-"
+            ):
+                continue
+            try:
+                tid = int(thread_entry[len("thread-"):])
+            except ValueError:
+                continue
+            streams += 1
+            thread = ThreadSalvage(node=node, tid=tid)
+            report.threads[f"{node}/thread-{tid}"] = thread
+            indices = sorted(
+                idx
+                for entry in os.listdir(thread_dir)
+                if (idx := _segment_index(entry)) is not None
+            )
+            if indices:
+                # Gaps in the numbering are lost files, not lost tails.
+                have = set(indices)
+                for missing in range(indices[-1] + 1):
+                    if missing not in have:
+                        thread.missing_segments.append(missing)
+                        report.missing_segments.append(
+                            os.path.join(
+                                node, thread_entry, f"seg-{missing:04d}.wal"
+                            )
+                        )
+            for idx in indices:
+                _salvage_segment(
+                    os.path.join(thread_dir, f"seg-{idx:04d}.wal"),
+                    report,
+                    thread,
+                    raw_records,
+                )
+    if streams == 0:
+        raise TraceFormatError(
+            f"no WAL streams under {directory} "
+            "(expected <node>/thread-<tid>/seg-*.wal)"
+        )
+
+    trace = Trace(name)
+    decoded = []
+    for data in raw_records:
+        try:
+            decoded.append(record_from_dict(data))
+        except TraceFormatError:
+            report.records_quarantined += 1
+            report.bad_records += 1
+            report.records_recovered -= 1
+    decoded.sort(key=lambda r: r.seq)
+    for record in decoded:
+        trace.append(record)
+    trace.partial = report.damaged
+    trace.salvage_report = report
+    return trace, report

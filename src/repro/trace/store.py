@@ -24,6 +24,12 @@ class Trace:
         self.name = name
         self.records: List[OpEvent] = []
         self._by_thread: Dict[int, List[OpEvent]] = defaultdict(list)
+        #: True when this trace is known to be incomplete (rebuilt by
+        #: WAL salvage with quarantined/lost records).  The HB analysis
+        #: reads it to mark downstream results ``confidence: "partial"``.
+        self.partial = False
+        #: The ``SalvageReport`` that produced this trace, if any.
+        self.salvage_report = None
 
     def append(self, event: OpEvent) -> None:
         # Records are *emitted* slightly out of order (a thread records its

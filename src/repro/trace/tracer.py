@@ -27,12 +27,18 @@ class Tracer(Interceptor):
         self,
         scope: Optional[TracingScope] = None,
         name: str = "trace",
+        wal: Optional["object"] = None,
     ) -> None:
         self.scope = scope or FullScope()
         self.trace = Trace(name)
         self.enabled = True
         self.dropped_mem = 0  # accesses skipped by the scope policy
         self.overhead_seconds = 0.0
+        #: Optional durable sink (``repro.trace.wal.WalSink``): every
+        #: recorded event is also appended to per-node/per-thread logs
+        #: on disk, so a crash leaves a salvageable prefix.  None (the
+        #: default) is the pure in-memory path with zero extra work.
+        self.wal = wal
         self._nodes: dict = {}
 
     def after(self, event: OpEvent) -> None:
@@ -46,8 +52,20 @@ class Tracer(Interceptor):
                 self.dropped_mem += 1
                 return
             self.trace.append(event)
+            if self.wal is not None:
+                self.wal.append(event)
         finally:
             self.overhead_seconds += time.perf_counter() - started
+
+    def on_node_crash(self, node: "object") -> None:
+        """A node died: its WAL streams stop mid-write, unsealed."""
+        if self.wal is not None:
+            self.wal.abandon_node(node.name)
+
+    def close(self) -> None:
+        """Seal the surviving WAL streams (end of the monitored run)."""
+        if self.wal is not None:
+            self.wal.close()
 
     def _node_traced(self, event: OpEvent) -> bool:
         node = self._nodes.get(event.node)

@@ -1,0 +1,271 @@
+"""Durable write-ahead trace log.
+
+The paper's tracer writes one trace file per thread of every process
+(Section 3.1); ours keeps traces in memory, which means a node crashed
+by a fault campaign takes its whole trace with it.  This module is the
+durable path: the tracer appends every record to a per-node, per-thread
+*segmented* append-only log as the run executes, so a node killed
+mid-run leaves a salvageable prefix on disk.
+
+Layout (under one WAL directory)::
+
+    <dir>/<node>/thread-<tid>/seg-0000.wal
+    <dir>/<node>/thread-<tid>/seg-0001.wal
+    ...
+
+Each segment file is line-oriented so a reader can resynchronize after
+damage.  Line grammar::
+
+    H <json>                      header: node, tid, segment index, format
+    R <len:08x> <crc:08x> <json>  one record (len/CRC32 of the JSON bytes)
+    S <count:08x> <crc:08x>       seal: record count + running CRC
+
+The length prefix detects torn (partially written) records, the per-line
+CRC detects bit rot, and the seal marker distinguishes a cleanly closed
+segment from one whose tail was lost.  Records are buffered and flushed
+every ``flush_every`` appends: the unflushed suffix is exactly what a
+crash loses.  ``abandon()`` models the crash — it drops part of the
+buffer and tears the last write mid-record, which is what the salvage
+path (`repro.trace.salvage`) must recover from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.runtime.ops import OpEvent
+from repro.trace.records import TRACE_SCHEMA_VERSION, record_to_dict
+
+WAL_FORMAT = "repro-wal"
+WAL_VERSION = 1
+
+#: Records per segment before rotation.  Small enough that a long run
+#: seals many segments (so most of the trace survives a crash sealed),
+#: large enough that rotation cost is negligible.
+DEFAULT_SEGMENT_RECORDS = 256
+
+#: Appends between flushes.  The buffered suffix is what a crash loses.
+DEFAULT_FLUSH_EVERY = 32
+
+
+def _crc(payload: bytes, running: int = 0) -> int:
+    return zlib.crc32(payload, running) & 0xFFFFFFFF
+
+
+def encode_record_line(payload: bytes) -> bytes:
+    """Frame one JSON payload as an ``R`` line."""
+    return b"R %08x %08x " % (len(payload), _crc(payload)) + payload + b"\n"
+
+
+def encode_seal_line(count: int, running_crc: int) -> bytes:
+    return b"S %08x %08x\n" % (count, running_crc & 0xFFFFFFFF)
+
+
+class WalWriter:
+    """Append-only segmented log for one (node, thread) stream."""
+
+    def __init__(
+        self,
+        directory: str,
+        node: str,
+        tid: int,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+    ) -> None:
+        self.directory = os.path.join(directory, node, f"thread-{tid}")
+        self.node = node
+        self.tid = tid
+        self.segment_records = max(1, segment_records)
+        self.flush_every = max(1, flush_every)
+        self.records_written = 0
+        self.segments_sealed = 0
+        self.bytes_written = 0
+        self.closed = False
+        self._segment_index = -1
+        self._segment_count = 0
+        self._segment_crc = 0
+        self._buffer: list = []
+        self._buffered = 0
+        self._fh = None
+        os.makedirs(self.directory, exist_ok=True)
+        self._open_segment()
+
+    # -- segment lifecycle ---------------------------------------------------
+
+    def _open_segment(self) -> None:
+        self._segment_index += 1
+        self._segment_count = 0
+        self._segment_crc = 0
+        path = os.path.join(self.directory, f"seg-{self._segment_index:04d}.wal")
+        self._fh = open(path, "wb")
+        header = {
+            "format": WAL_FORMAT,
+            "wal_version": WAL_VERSION,
+            "record_version": TRACE_SCHEMA_VERSION,
+            "node": self.node,
+            "tid": self.tid,
+            "segment": self._segment_index,
+        }
+        line = b"H " + json.dumps(header, sort_keys=True).encode() + b"\n"
+        self._fh.write(line)
+        self.bytes_written += len(line)
+
+    def _drain_buffer(self) -> None:
+        if self._buffer:
+            data = b"".join(self._buffer)
+            self._fh.write(data)
+            self._fh.flush()
+            self.bytes_written += len(data)
+            self._buffer = []
+            self._buffered = 0
+
+    def _seal_segment(self) -> None:
+        self._drain_buffer()
+        line = encode_seal_line(self._segment_count, self._segment_crc)
+        self._fh.write(line)
+        self._fh.flush()
+        self.bytes_written += len(line)
+        self._fh.close()
+        self.segments_sealed += 1
+
+    # -- public API ----------------------------------------------------------
+
+    def append(self, data: Dict[str, Any]) -> None:
+        if self.closed:
+            return
+        payload = json.dumps(data, sort_keys=True).encode()
+        self._buffer.append(encode_record_line(payload))
+        self._buffered += 1
+        self._segment_count += 1
+        self._segment_crc = _crc(payload, self._segment_crc)
+        self.records_written += 1
+        if self._buffered >= self.flush_every:
+            self._drain_buffer()
+        if self._segment_count >= self.segment_records:
+            self._seal_segment()
+            self._open_segment()
+
+    def close(self) -> None:
+        """Cleanly seal and close the current segment."""
+        if self.closed:
+            return
+        self.closed = True
+        self._seal_segment()
+
+    def abandon(self) -> None:
+        """Model a node crash: the stream stops without a seal.
+
+        Flushed data survives; of the in-flight buffer, only a prefix
+        reaches the disk and the last write is torn mid-record — the
+        failure mode the salvage path exists for.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        if self._buffer:
+            keep = len(self._buffer) // 2
+            for line in self._buffer[:keep]:
+                self._fh.write(line)
+                self.bytes_written += len(line)
+            torn = self._buffer[keep]
+            cut = max(2, len(torn) // 2)
+            self._fh.write(torn[:cut])
+            self.bytes_written += cut
+            self._buffer = []
+            self._buffered = 0
+        self._fh.flush()
+        self._fh.close()
+
+
+class WalSink:
+    """Routes trace records to per-(node, thread) writers.
+
+    Attached to the ``Tracer``; ``append`` is called once per recorded
+    event, ``abandon_node`` when a node crashes (its streams stop,
+    unsealed), and ``close`` at end of run (surviving streams seal)."""
+
+    def __init__(
+        self,
+        directory: str,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+    ) -> None:
+        self.directory = directory
+        self.segment_records = segment_records
+        self.flush_every = flush_every
+        self.abandoned_nodes: set = set()
+        self._writers: Dict[Tuple[str, int], WalWriter] = {}
+        os.makedirs(directory, exist_ok=True)
+
+    def append(self, event: OpEvent) -> None:
+        key = (event.node, event.tid)
+        if event.node in self.abandoned_nodes:
+            return  # a crashed node writes nothing more
+        writer = self._writers.get(key)
+        if writer is None:
+            writer = WalWriter(
+                self.directory,
+                event.node,
+                event.tid,
+                segment_records=self.segment_records,
+                flush_every=self.flush_every,
+            )
+            self._writers[key] = writer
+        writer.append(record_to_dict(event))
+
+    def abandon_node(self, node: str) -> None:
+        """The node crashed: its streams end abruptly, without seals."""
+        self.abandoned_nodes.add(node)
+        for (writer_node, _tid), writer in self._writers.items():
+            if writer_node == node:
+                writer.abandon()
+
+    def close(self) -> None:
+        """End of run: seal every surviving stream and publish totals."""
+        for writer in self._writers.values():
+            writer.close()
+        self._publish_metrics()
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def records_written(self) -> int:
+        return sum(w.records_written for w in self._writers.values())
+
+    @property
+    def segments_sealed(self) -> int:
+        return sum(w.segments_sealed for w in self._writers.values())
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(w.bytes_written for w in self._writers.values())
+
+    def _publish_metrics(self) -> None:
+        from repro import obs
+
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return
+        registry.counter(
+            "wal_records_written_total", "trace records appended to the WAL"
+        ).inc(self.records_written)
+        registry.counter(
+            "wal_segments_sealed_total", "WAL segments sealed cleanly"
+        ).inc(self.segments_sealed)
+        registry.counter(
+            "wal_bytes_written_total", "bytes appended to the WAL"
+        ).inc(self.bytes_written)
+        if self.abandoned_nodes:
+            registry.counter(
+                "wal_streams_abandoned_total",
+                "WAL streams abandoned by node crashes",
+            ).inc(
+                sum(
+                    1
+                    for (node, _tid) in self._writers
+                    if node in self.abandoned_nodes
+                )
+            )

@@ -87,4 +87,5 @@ class TriggerInterceptor(Interceptor):
     def bind(self, cluster: "object") -> "TriggerInterceptor":
         cluster.add_interceptor(self)
         cluster.scheduler.on_idle(self.controller.on_idle)
+        self.controller.attach_scheduler(cluster.scheduler)
         return self

@@ -1,0 +1,162 @@
+"""Partial-trace tolerance: unmatched HB endpoints degrade, never raise.
+
+A salvaged trace misses records.  The rule modules must finish anyway,
+count what they could not match, and flip the graph to ``partial`` only
+for patterns that cannot occur in a complete trace — so that fully
+traced runs keep ``confidence: "full"``.
+"""
+
+import pytest
+
+from repro import obs
+from repro.detect import detect_races
+from repro.hb import HBGraph
+from repro.runtime import Cluster, OpKind, sleep
+from repro.trace import FullScope, Trace, Tracer
+
+
+def _run_traced(build, seed=0):
+    cluster = Cluster(seed=seed)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    build(cluster)
+    cluster.run()
+    return tracer.trace
+
+
+def _drop(trace, predicate):
+    """A copy of ``trace`` without the records matching ``predicate`` —
+    the shape salvage produces when a node's WAL lost its tail."""
+    out = Trace("filtered")
+    for record in trace.records:
+        if not predicate(record):
+            out.append(record)
+    return out
+
+
+def _rpc_build(cluster):
+    server = cluster.add_node("server")
+    client = cluster.add_node("client")
+    var = server.shared_var("x", 0)
+    server.rpc_server.register("mutate", lambda: var.set(1))
+    client.spawn(lambda: client.rpc("server").mutate(), name="caller")
+
+
+def _sock_build(cluster):
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    b.sockets.register("ping", lambda payload, src: None)
+    a.spawn(lambda: a.send("b", "ping"), name="sender")
+
+
+def _lock_build(cluster):
+    node = cluster.add_node("n")
+    lock = node.lock("m")
+    def worker():
+        with lock:
+            sleep(1)
+    node.spawn(worker, name="w")
+
+
+class TestCompleteTraceStaysFull:
+    def test_no_damage_patterns(self):
+        trace = _run_traced(_rpc_build)
+        graph = HBGraph(trace)
+        assert not graph.partial
+        assert graph.damage_patterns == set()
+
+    def test_detection_confidence_full(self):
+        trace = _run_traced(_rpc_build)
+        assert detect_races(trace).confidence == "full"
+
+
+class TestDamagePatterns:
+    def test_lost_rpc_create_is_damage(self, capsys):
+        trace = _run_traced(_rpc_build)
+        damaged = _drop(trace, lambda r: r.kind is OpKind.RPC_CREATE)
+        graph = HBGraph(damaged)
+        assert "rpc_begin_without_create" in graph.damage_patterns
+        assert graph.partial
+        assert 'confidence="partial"' in capsys.readouterr().err
+
+    def test_lost_rpc_end_is_damage(self):
+        trace = _run_traced(_rpc_build)
+        damaged = _drop(trace, lambda r: r.kind is OpKind.RPC_END)
+        graph = HBGraph(damaged)
+        assert "rpc_join_without_end" in graph.damage_patterns
+
+    def test_lost_sock_send_from_traced_node_is_damage(self):
+        trace = _run_traced(_sock_build)
+        damaged = _drop(trace, lambda r: r.kind is OpKind.SOCK_SEND)
+        graph = HBGraph(damaged)
+        assert "sock_recv_without_send" in graph.damage_patterns
+
+    def test_lost_lock_acquire_is_damage(self):
+        trace = _run_traced(_lock_build)
+        damaged = _drop(trace, lambda r: r.kind is OpKind.LOCK_ACQUIRE)
+        graph = HBGraph(damaged)
+        assert "lock_release_without_acquire" in graph.damage_patterns
+
+    def test_detection_confidence_partial(self):
+        trace = _run_traced(_rpc_build)
+        damaged = _drop(trace, lambda r: r.kind is OpKind.RPC_CREATE)
+        detection = detect_races(damaged)
+        assert detection.confidence == "partial"
+
+
+class TestBenignPatterns:
+    """Patterns that occur in complete traces must NOT flip partial."""
+
+    def test_lost_rpc_join_is_benign(self):
+        # End-without-Join also happens on timed-out calls in intact runs.
+        trace = _run_traced(_rpc_build)
+        damaged = _drop(trace, lambda r: r.kind is OpKind.RPC_JOIN)
+        graph = HBGraph(damaged)
+        assert graph.unmatched["rpc_end_without_join"] >= 1
+        assert not graph.partial
+
+    def test_unreleased_lock_is_benign(self):
+        # The holder crashing before release is a normal fault outcome.
+        trace = _run_traced(_lock_build)
+        damaged = _drop(trace, lambda r: r.kind is OpKind.LOCK_RELEASE)
+        graph = HBGraph(damaged)
+        assert graph.unmatched["lock_acquire_without_release"] >= 1
+        assert not graph.partial
+
+    def test_whole_benchmarks_stay_full(self):
+        # Regression guard: a normally traced benchmark must never be
+        # downgraded by the unmatched-endpoint heuristics.
+        from repro.systems import workload_by_id
+
+        workload = workload_by_id("MR-3274")
+        cluster = Cluster(seed=0)
+        tracer = Tracer(scope=FullScope()).bind(cluster)
+        workload.build(cluster)
+        cluster.run()
+        graph = HBGraph(tracer.trace)
+        assert not graph.partial, graph.damage_patterns
+
+
+class TestSalvagedFlagPropagates:
+    def test_trace_partial_flag_flips_graph(self):
+        trace = _run_traced(_rpc_build)
+        trace.partial = True  # what salvage sets on a damaged WAL
+        graph = HBGraph(trace)
+        assert graph.partial
+        assert graph.damage_patterns == set()  # records themselves intact
+
+    def test_stats_count_unmatched(self):
+        trace = _run_traced(_rpc_build)
+        damaged = _drop(trace, lambda r: r.kind is OpKind.RPC_CREATE)
+        graph = HBGraph(damaged)
+        assert graph.stats()["unmatched"] >= 1
+
+
+class TestMetrics:
+    def test_unmatched_counter_emitted(self):
+        trace = _run_traced(_rpc_build)
+        damaged = _drop(trace, lambda r: r.kind is OpKind.RPC_CREATE)
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            HBGraph(damaged)
+        snap = registry.counter("hb_unmatched_edges_total").snapshot()
+        assert snap["series"]["pattern=rpc_begin_without_create"]["value"] >= 1

@@ -180,3 +180,76 @@ def test_run_with_chain_backend_and_workers(capsys):
     out = capsys.readouterr().out
     assert "DCatch on ZK-1270" in out
     assert "DCatch reports" in out
+
+
+def test_trace_load_roundtrip(tmp_path, capsys):
+    out_dir = tmp_path / "trace"
+    assert main(["trace", "ZK-1144", "--out", str(out_dir)]) == 0
+    capsys.readouterr()
+    assert main(["trace", "--load", str(out_dir), "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "loaded" in out
+    assert "by category:" in out
+
+
+def test_trace_load_malformed_json_exits_2(tmp_path, capsys):
+    bad = tmp_path / "broken"
+    bad.mkdir()
+    (bad / "thread-0.jsonl").write_text('{"seq": 1, "kind": "mem_read"\nnot json\n')
+    assert main(["trace", "--load", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+    assert "line 1" in err  # points at the malformed line
+
+
+def test_salvage_command_end_to_end(tmp_path, capsys):
+    wal_root = tmp_path / "wal"
+    assert main(
+        ["run", "ZK-1270", "--no-trigger", "--trace-dir", str(wal_root)]
+    ) == 0
+    capsys.readouterr()
+    wal_dir = wal_root / "ZK-1270" / "seed-0"
+    report_path = tmp_path / "report.json"
+    out_dir = tmp_path / "salvaged"
+    assert main(
+        [
+            "salvage",
+            str(wal_dir),
+            "--report",
+            str(report_path),
+            "--out",
+            str(out_dir),
+            "--analyze",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "salvage of" in out
+    assert "clean" in out
+    assert "confidence: full" in out
+
+    import json
+
+    report = json.loads(report_path.read_text())
+    assert report["format"] == "repro-salvage-report"
+    assert report["damaged"] is False
+    assert report["records_recovered"] > 0
+
+    from repro.trace import Trace
+
+    assert len(Trace.load(str(out_dir))) == report["records_recovered"]
+
+
+def test_salvage_missing_directory_exits_2(tmp_path, capsys):
+    assert main(["salvage", str(tmp_path / "nope")]) == 2
+    err = capsys.readouterr().err
+    assert "not a WAL directory" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_run_trigger_max_wait_flag_parses():
+    parser = build_parser()
+    args = parser.parse_args(["run", "ZK-1144", "--trigger-max-wait", "400"])
+    assert args.trigger_max_wait == 400
+    args = parser.parse_args(["run", "ZK-1144"])
+    assert args.trigger_max_wait is None

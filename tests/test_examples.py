@@ -49,3 +49,8 @@ def test_fault_injection():
 @pytest.mark.slow
 def test_wordcount_pipeline():
     _run_example("wordcount_pipeline.py")
+
+
+@pytest.mark.slow
+def test_crash_salvage():
+    _run_example("crash_salvage.py")

@@ -90,3 +90,77 @@ def test_trace_keeps_seq_order_regardless_of_insertion(events):
     assert seqs == sorted(seqs)
     for event in events:
         assert trace.by_seq(event.seq) is not None
+
+
+# -- schema versioning -------------------------------------------------------
+
+_unicode_obj_ids = st.one_of(
+    st.text(min_size=1, max_size=12),  # full unicode, including emoji etc.
+    st.tuples(st.text(min_size=1, max_size=6), st.integers(0, 999)),
+)
+@settings(max_examples=100, deadline=None)
+@given(event=_events, obj_id=_unicode_obj_ids)
+def test_roundtrip_preserves_unicode_and_tuple_obj_ids(event, obj_id):
+    from repro.trace import TRACE_SCHEMA_VERSION, record_from_dict, record_to_dict
+
+    event = OpEvent(**{**event.__dict__, "obj_id": obj_id})
+    data = record_to_dict(event)
+    assert data["v"] == TRACE_SCHEMA_VERSION
+    restored = record_from_dict(data)
+    assert restored.obj_id == event.obj_id
+    assert restored.extra == event.extra
+
+
+@settings(max_examples=50, deadline=None)
+@given(event=_events, version=st.integers(min_value=2, max_value=99))
+def test_unknown_schema_version_rejected(event, version):
+    from repro.errors import TraceFormatError
+    from repro.trace import record_from_dict, record_to_dict
+
+    data = record_to_dict(event)
+    data["v"] = version
+    try:
+        record_from_dict(data)
+    except TraceFormatError as exc:
+        assert str(version) in str(exc)
+    else:
+        raise AssertionError("future schema version must be rejected")
+
+
+def test_missing_version_field_defaults_to_v1():
+    # Pre-versioning traces carry no "v" key; they must keep loading.
+    from repro.trace import record_from_dict, record_to_dict
+
+    event = OpEvent(
+        seq=1, kind=OpKind.MEM_READ, obj_id="x", node="n", tid=0,
+        thread_name="t", segment=0, callstack=CallStack([]),
+    )
+    data = record_to_dict(event)
+    del data["v"]
+    assert record_from_dict(data).seq == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=st.lists(_events, min_size=1, max_size=10))
+def test_wal_roundtrip_equals_direct_roundtrip(tmp_path_factory, events):
+    """Records that pass through the WAL + salvage must decode exactly
+    like records that round-trip through record_to_dict alone."""
+    from repro.trace import WalSink, salvage_trace
+
+    events = [
+        OpEvent(**{**e.__dict__, "seq": i + 1, "node": "n", "tid": 0})
+        for i, e in enumerate(events)
+    ]
+    directory = str(tmp_path_factory.mktemp("wal"))
+    sink = WalSink(directory, flush_every=1)
+    for event in events:
+        sink.append(event)
+    sink.close()
+    trace, report = salvage_trace(directory)
+    assert not report.damaged
+    assert [r.seq for r in trace.records] == [e.seq for e in events]
+    for restored, original in zip(trace.records, events):
+        assert restored.kind == original.kind
+        assert restored.obj_id == original.obj_id
+        assert restored.callstack == original.callstack
+        assert restored.extra == original.extra

@@ -1,0 +1,153 @@
+"""WAL writer framing, rotation, sealing, and crash abandonment."""
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.ids import CallStack
+from repro.runtime.ops import OpEvent, OpKind
+from repro.trace import Tracer, WalSink, WalWriter
+from repro.trace.wal import encode_record_line, encode_seal_line
+
+
+def _event(seq, node="n1", tid=0, kind=OpKind.MEM_WRITE):
+    return OpEvent(
+        seq=seq, kind=kind, obj_id=f"{node}.x", node=node, tid=tid,
+        thread_name=f"{node}.t{tid}", segment=0, callstack=CallStack([]),
+    )
+
+
+def _segments(directory, node, tid):
+    d = os.path.join(directory, node, f"thread-{tid}")
+    return sorted(f for f in os.listdir(d)) if os.path.isdir(d) else []
+
+
+def _read(directory, node, tid, segment):
+    path = os.path.join(directory, node, f"thread-{tid}", segment)
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+class TestFraming:
+    def test_record_line_layout(self):
+        payload = b'{"a": 1}'
+        line = encode_record_line(payload)
+        assert line.startswith(b"R ")
+        assert line.endswith(payload + b"\n")
+        length = int(line[2:10], 16)
+        crc = int(line[11:19], 16)
+        assert length == len(payload)
+        assert crc == zlib.crc32(payload) & 0xFFFFFFFF
+
+    def test_seal_line_layout(self):
+        line = encode_seal_line(3, 0xDEADBEEF)
+        assert line == b"S 00000003 deadbeef\n"
+
+
+class TestWalWriter:
+    def test_clean_close_writes_header_records_seal(self, tmp_path):
+        writer = WalWriter(str(tmp_path), "n1", 0, flush_every=1)
+        writer.append({"seq": 1})
+        writer.append({"seq": 2})
+        writer.close()
+        data = _read(str(tmp_path), "n1", 0, "seg-0000.wal")
+        lines = data.split(b"\n")
+        assert lines[0].startswith(b"H ")
+        header = json.loads(lines[0][2:])
+        assert header["format"] == "repro-wal"
+        assert header["node"] == "n1" and header["tid"] == 0
+        assert lines[1].startswith(b"R ") and lines[2].startswith(b"R ")
+        assert lines[3].startswith(b"S ")
+        assert writer.records_written == 2
+        assert writer.segments_sealed == 1
+
+    def test_rotation_seals_full_segments(self, tmp_path):
+        writer = WalWriter(
+            str(tmp_path), "n1", 0, segment_records=4, flush_every=1
+        )
+        for seq in range(10):
+            writer.append({"seq": seq})
+        writer.close()
+        segs = _segments(str(tmp_path), "n1", 0)
+        assert segs == ["seg-0000.wal", "seg-0001.wal", "seg-0002.wal"]
+        assert writer.segments_sealed == 3
+        # Every segment, including the short final one, carries a seal.
+        for seg in segs:
+            assert b"\nS " in _read(str(tmp_path), "n1", 0, seg)
+
+    def test_abandon_leaves_unsealed_torn_tail(self, tmp_path):
+        writer = WalWriter(str(tmp_path), "n1", 0, flush_every=100)
+        for seq in range(8):
+            writer.append({"seq": seq, "pad": "x" * 40})
+        writer.abandon()
+        data = _read(str(tmp_path), "n1", 0, "seg-0000.wal")
+        assert b"\nS " not in data  # no seal: the crash got there first
+        # A prefix of the buffer survived; the next record is torn.
+        complete = [l for l in data.split(b"\n") if l.startswith(b"R ")]
+        assert 0 < len(complete) < 8
+        assert not data.endswith(b"\n")
+
+    def test_append_after_close_is_a_no_op(self, tmp_path):
+        writer = WalWriter(str(tmp_path), "n1", 0, flush_every=1)
+        writer.append({"seq": 1})
+        writer.close()
+        writer.append({"seq": 2})
+        assert writer.records_written == 1
+
+    def test_flush_every_buffers_appends(self, tmp_path):
+        writer = WalWriter(str(tmp_path), "n1", 0, flush_every=4)
+        writer.append({"seq": 1})
+        # Nothing flushed yet: only the header is on disk.
+        data = _read(str(tmp_path), "n1", 0, "seg-0000.wal")
+        assert b"R " not in data
+        for seq in range(2, 6):
+            writer.append({"seq": seq})
+        data = _read(str(tmp_path), "n1", 0, "seg-0000.wal")
+        assert data.count(b"\nR ") + data.startswith(b"R ") >= 4
+        writer.close()
+
+
+class TestWalSink:
+    def test_routes_streams_by_node_and_thread(self, tmp_path):
+        sink = WalSink(str(tmp_path), flush_every=1)
+        sink.append(_event(1, node="a", tid=0))
+        sink.append(_event(2, node="a", tid=1))
+        sink.append(_event(3, node="b", tid=0))
+        sink.close()
+        assert _segments(str(tmp_path), "a", 0) == ["seg-0000.wal"]
+        assert _segments(str(tmp_path), "a", 1) == ["seg-0000.wal"]
+        assert _segments(str(tmp_path), "b", 0) == ["seg-0000.wal"]
+        assert sink.records_written == 3
+        assert sink.segments_sealed == 3
+        assert sink.bytes_written > 0
+
+    def test_abandon_node_stops_its_streams_only(self, tmp_path):
+        sink = WalSink(str(tmp_path), flush_every=1)
+        sink.append(_event(1, node="a"))
+        sink.append(_event(2, node="b"))
+        sink.abandon_node("a")
+        sink.append(_event(3, node="a"))  # dropped: node is gone
+        sink.append(_event(4, node="b"))
+        sink.close()
+        a_data = _read(str(tmp_path), "a", 0, "seg-0000.wal")
+        b_data = _read(str(tmp_path), "b", 0, "seg-0000.wal")
+        assert b"\nS " not in a_data  # crashed stream never sealed
+        assert b"\nS " in b_data
+        assert b_data.count(b"R ") == 2
+
+    def test_tracer_wires_wal_through_run(self, tmp_path):
+        from repro.runtime import Cluster
+        from repro.trace import FullScope
+
+        sink = WalSink(str(tmp_path), flush_every=1)
+        cluster = Cluster(seed=0)
+        tracer = Tracer(scope=FullScope(), wal=sink).bind(cluster)
+        node = cluster.add_node("n")
+        var = node.shared_var("x", 0)
+        node.spawn(lambda: var.set(1), name="w")
+        cluster.run()
+        tracer.close()
+        assert sink.records_written == len(tracer.trace)
+        assert sink.records_written > 0

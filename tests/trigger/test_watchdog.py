@@ -1,0 +1,163 @@
+"""The max_wait watchdog: a hung enforcement releases, never wedges."""
+
+import pytest
+
+from repro import obs
+from repro.runtime import Cluster, current_sim_thread, sleep
+from repro.trigger import OrderController
+
+
+def test_max_wait_must_be_positive():
+    with pytest.raises(ValueError):
+        OrderController(("A", "B"), max_wait=0)
+    with pytest.raises(ValueError):
+        OrderController(("A", "B"), max_wait=-5)
+
+
+def test_watchdog_releases_lone_party_within_max_wait(capsys):
+    """Party B never arrives; the deadline (a scheduler wake hint) fires
+    even though the system is otherwise quiescent."""
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    controller = OrderController(("B", "A"), max_wait=50)
+    controller.attach_scheduler(cluster.scheduler)
+    progressed = []
+
+    requested_at = []
+
+    def party_a():
+        requested_at.append(cluster.scheduler.clock)
+        controller.request("A", current_sim_thread())
+        progressed.append(cluster.scheduler.clock)
+        controller.confirm("A")
+
+    node.spawn(party_a, name="a")
+    result = cluster.run()
+    assert result.completed, result.failures.events
+    assert progressed, "party A must be released, not deadlocked"
+    # Released the moment the deadline passed — not at the step budget.
+    assert progressed[0] == requested_at[0] + 50
+    assert controller.released_by_watchdog == {"A"}
+    assert not controller.enforced
+    assert "watchdog released" in capsys.readouterr().err
+
+
+def test_watchdog_releases_during_livelock():
+    """The rest of the system stays busy (the idle hook never fires), so
+    only the clock deadline can break the hold."""
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    controller = OrderController(("B", "A"), max_wait=40)
+    cluster.scheduler.on_idle(controller.on_idle)
+    controller.attach_scheduler(cluster.scheduler)
+    progressed = []
+
+    def busy_loop():
+        for _ in range(60):
+            sleep(2)  # keeps the scheduler busy well past the deadline
+
+    def party_a():
+        controller.request("A", current_sim_thread())
+        progressed.append(cluster.scheduler.clock)
+        controller.confirm("A")
+
+    node.spawn(busy_loop, name="busy")
+    node.spawn(party_a, name="a")
+    result = cluster.run()
+    assert result.completed, result.failures.events
+    assert progressed
+    assert controller.released_by_watchdog == {"A"}
+    assert not controller.released_by_idle  # never went idle while held
+    assert not controller.enforced
+
+
+def test_watchdog_releases_both_held_parties():
+    """Once one deadline passes, every held party goes: half a release
+    would just move the hang to the other gate."""
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    # Neither A nor B can be granted: C never arrives... but the order
+    # names only two parties, so instead hold both by granting neither:
+    # request A and B under order (B, A); B is granted on arrival of
+    # both, so use a controller where the first party never confirms.
+    controller = OrderController(("B", "A"), max_wait=30)
+    controller.attach_scheduler(cluster.scheduler)
+    released_at = {}
+
+    def party(name):
+        def run():
+            controller.request(name, current_sim_thread())
+            released_at[name] = cluster.scheduler.clock
+            # no confirm: the grant chain stalls after B
+
+        return run
+
+    # A alone first: it is second in the order, so it is held until B
+    # confirms — which never happens because B never confirms.
+    node.spawn(party("A"), name="a")
+    result = cluster.run()
+    assert result.completed
+    assert "A" in released_at
+    assert controller.released_by_watchdog == {"A"}
+
+
+def test_enforced_run_unaffected_by_watchdog():
+    """A healthy enforcement finishes long before the deadline — the
+    watchdog must not fire and the run still counts as enforced."""
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    controller = OrderController(("A", "B"), max_wait=500)
+    controller.attach_scheduler(cluster.scheduler)
+    order = []
+
+    def party(name):
+        def run():
+            controller.request(name, current_sim_thread())
+            order.append(name)
+            controller.confirm(name)
+
+        return run
+
+    node.spawn(party("A"), name="a")
+    node.spawn(party("B"), name="b")
+    result = cluster.run()
+    assert result.completed
+    assert order == ["A", "B"]
+    assert controller.enforced
+    assert not controller.released_by_watchdog
+
+
+def test_watchdog_metric_counts_releases():
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        cluster = Cluster(seed=0)
+        node = cluster.add_node("n")
+        controller = OrderController(("B", "A"), max_wait=20)
+        controller.attach_scheduler(cluster.scheduler)
+        node.spawn(
+            lambda: (
+                controller.request("A", current_sim_thread()),
+                controller.confirm("A"),
+            ),
+            name="a",
+        )
+        cluster.run()
+    counter = registry.counter("trigger_watchdog_releases_total")
+    assert counter.value >= 1
+
+
+def test_idle_release_metric_counts_releases(capsys):
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        controller = OrderController(("A", "B"))
+        controller.arrived["B"] = "t2"
+        controller.on_idle()
+    assert registry.counter("trigger_idle_releases_total").value == 1
+    assert "idle-released" in capsys.readouterr().err
+
+
+def test_explorer_passes_max_wait_through():
+    from repro.trigger import TriggerModule
+
+    module = TriggerModule(factory=lambda seed: None, max_wait=123)
+    assert module.max_wait == 123
