@@ -1,0 +1,586 @@
+"""Stage-level checkpoint/resume for the analysis pipeline.
+
+The tracing side has been crash-tolerant since the WAL (PR 4); this
+module is the analysis-side twin.  After each pipeline stage completes,
+its outputs are serialized into a checkpoint directory; ``dcatch run
+--resume`` validates the manifest against config + trace fingerprints
+and skips every completed stage, so a killed analyzer loses at most the
+stage (for detection: the *shard*; for triggering: the *report*) that
+was in flight.
+
+Layout (one run per checkpoint directory)::
+
+    <dir>/manifest.json            schema-versioned, atomically replaced
+    <dir>/trace.json               stage payloads, CRC32-checked
+    <dir>/hb.json
+    <dir>/reach.json
+    <dir>/detect-shards.jsonl      incremental: one framed line per shard
+    <dir>/detect.json
+    <dir>/prune.json
+    <dir>/trigger-outcomes.jsonl   incremental: one framed line per report
+    <dir>/trigger.json
+
+Incremental files reuse the WAL's line framing (``R <len> <crc>
+<json>``) so a SIGKILL mid-append leaves a torn tail the loader simply
+drops — the same recovery story as ``repro.trace.salvage``.  Stage
+payload files carry their CRC32 in the manifest; damage, stale schema
+versions, and fingerprint mismatches all raise ``CheckpointError``
+(exit 2 in the CLI), never a traceback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import CheckpointError
+from repro.trace.records import TRACE_SCHEMA_VERSION
+from repro.trace.store import Trace
+
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+#: Pipeline stages in execution order.  ``detect`` and ``trigger`` also
+#: keep incremental shard files so a mid-stage crash only loses the
+#: in-flight unit of work.
+STAGES = ("trace", "hb", "reach", "detect", "prune", "trigger")
+
+_INCREMENTAL_FILES = {
+    "detect": "detect-shards.jsonl",
+    "trigger": "trigger-outcomes.jsonl",
+}
+
+
+def _crc(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def config_fingerprint(benchmark: str, config: "object") -> str:
+    """Hash of every config knob that changes analysis *results*.
+
+    Performance knobs (worker counts, observability) are deliberately
+    excluded: resuming with a different worker count is safe because
+    any worker count produces identical candidates."""
+    model = config.model
+    fields = {
+        "benchmark": benchmark,
+        "scope": config.scope,
+        "model": model.describe(),
+        "monitored_seed": config.monitored_seed,
+        "interprocedural_depth": config.interprocedural_depth,
+        "prune": config.prune,
+        "trigger": config.trigger,
+        "trigger_seeds": list(config.trigger_seeds),
+        "trigger_max_wait": config.trigger_max_wait,
+        "reach_backend": config.reach_backend,
+        "compress_mem": getattr(config, "compress_mem", True),
+        "max_pairs_per_location": getattr(
+            config, "max_pairs_per_location", 200_000
+        ),
+        "fault_plan": config.fault_plan is not None,
+        "trace_schema": TRACE_SCHEMA_VERSION,
+    }
+    blob = json.dumps(fields, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """CRC of the serialized trace — ties analysis checkpoints to the
+    exact record stream they were computed from.
+
+    Lines are sorted within each thread file: a live trace may append
+    records out of ``seq`` order while a restored one is seq-sorted, and
+    the fingerprint must depend on content, not append order."""
+    running = 0
+    for _tid, blob in sorted(trace.dump_thread_files().items()):
+        for line in sorted(blob.splitlines()):
+            running = zlib.crc32(line.encode(), running) & 0xFFFFFFFF
+    return f"{running:08x}"
+
+
+class ShardLog:
+    """Append-only, CRC-framed JSONL file for one incremental stage."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "ab")
+
+    def append(self, entry: Dict[str, Any]) -> None:
+        from repro.trace.wal import encode_record_line
+
+        payload = json.dumps(entry, sort_keys=True).encode()
+        self._fh.write(encode_record_line(payload))
+        # Flush per shard: the unflushed suffix is exactly what a crash
+        # loses, and a shard is the unit we promise to lose at most.
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def _read_shard_lines(path: str) -> List[Dict[str, Any]]:
+    """Every intact framed line; a torn/damaged tail is dropped, torn
+    or corrupt *interior* lines stop the scan (everything after them
+    might be misframed)."""
+    entries: List[Dict[str, Any]] = []
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        return entries
+    for line in data.split(b"\n"):
+        if not line:
+            continue
+        parts = line.split(b" ", 3)
+        if len(parts) != 4 or parts[0] != b"R":
+            break
+        try:
+            length = int(parts[1], 16)
+            crc = int(parts[2], 16)
+        except ValueError:
+            break
+        payload = parts[3]
+        if len(payload) != length or _crc(payload) != crc:
+            break
+        try:
+            entries.append(json.loads(payload.decode()))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            break
+    return entries
+
+
+@dataclass
+class CheckpointStore:
+    """One run's checkpoint directory plus its manifest."""
+
+    directory: str
+    benchmark: str
+    config_fp: str
+    resume: bool = False
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    #: Stages loaded from disk instead of recomputed, in order.
+    stages_skipped: List[str] = field(default_factory=list)
+    _shard_logs: Dict[str, ShardLog] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._manifest_path = os.path.join(self.directory, "manifest.json")
+        if self.resume:
+            self.manifest = self._load_manifest()
+            self._validate_manifest()
+        else:
+            os.makedirs(self.directory, exist_ok=True)
+            self.manifest = {
+                "format": CHECKPOINT_FORMAT,
+                "version": CHECKPOINT_VERSION,
+                "benchmark": self.benchmark,
+                "config_fingerprint": self.config_fp,
+                "trace_fingerprint": None,
+                "stages": {},
+            }
+            self._write_manifest()
+
+    # -- manifest -------------------------------------------------------------
+
+    def _load_manifest(self) -> Dict[str, Any]:
+        if not os.path.isdir(self.directory):
+            raise CheckpointError(
+                f"{self.directory} is not a checkpoint directory "
+                f"(run with --checkpoint-dir first, then --resume)"
+            )
+        try:
+            with open(self._manifest_path) as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"no checkpoint manifest in {self.directory} "
+                f"(nothing to resume)"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"damaged checkpoint manifest {self._manifest_path}: {exc.msg}"
+            ) from None
+
+    def _validate_manifest(self) -> None:
+        manifest = self.manifest
+        if manifest.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"{self._manifest_path} is not a checkpoint manifest "
+                f"(format {manifest.get('format')!r})"
+            )
+        version = manifest.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"stale checkpoint schema version {version!r} "
+                f"(this reader understands version {CHECKPOINT_VERSION}); "
+                f"re-run without --resume to rebuild"
+            )
+        if manifest.get("benchmark") != self.benchmark:
+            raise CheckpointError(
+                f"checkpoint is for benchmark {manifest.get('benchmark')!r}, "
+                f"not {self.benchmark!r}"
+            )
+        if manifest.get("config_fingerprint") != self.config_fp:
+            raise CheckpointError(
+                "checkpoint config fingerprint mismatch: the checkpoint "
+                f"was produced with different analysis settings "
+                f"({manifest.get('config_fingerprint')} != {self.config_fp}); "
+                f"re-run without --resume to rebuild"
+            )
+
+    def _write_manifest(self) -> None:
+        tmp = self._manifest_path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(self.manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._manifest_path)
+
+    # -- stage lifecycle ------------------------------------------------------
+
+    def stage_completed(self, name: str) -> bool:
+        entry = self.manifest.get("stages", {}).get(name)
+        return bool(entry and entry.get("completed"))
+
+    def mark_skipped(self, name: str) -> None:
+        self.stages_skipped.append(name)
+        obs.counter(
+            "checkpoint_stages_skipped_total",
+            "completed stages skipped by --resume",
+        ).labels(stage=name).inc()
+
+    def seal_stage(self, name: str, payload: Dict[str, Any]) -> None:
+        """Write one stage's payload and mark it completed (atomic:
+        payload file first, then manifest replace)."""
+        with obs.span("checkpoint.seal", stage=name):
+            blob = json.dumps(payload, sort_keys=True).encode()
+            filename = f"{name}.json"
+            path = os.path.join(self.directory, filename)
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            entry = self.manifest["stages"].setdefault(name, {})
+            entry.update(
+                {"file": filename, "crc": f"{_crc(blob):08x}", "completed": True}
+            )
+            self._write_manifest()
+        obs.counter(
+            "checkpoint_stages_sealed_total", "pipeline stages checkpointed"
+        ).labels(stage=name).inc()
+        obs.counter(
+            "checkpoint_bytes_written_total", "bytes of sealed stage payloads"
+        ).inc(len(blob))
+
+    def load_stage(self, name: str) -> Dict[str, Any]:
+        entry = self.manifest.get("stages", {}).get(name)
+        if not entry or not entry.get("completed"):
+            raise CheckpointError(f"stage {name} is not completed in {self.directory}")
+        path = os.path.join(self.directory, entry["file"])
+        with obs.span("checkpoint.load", stage=name):
+            try:
+                with open(path, "rb") as fh:
+                    blob = fh.read()
+            except FileNotFoundError:
+                raise CheckpointError(
+                    f"checkpoint stage file missing: {path}"
+                ) from None
+            if f"{_crc(blob):08x}" != entry.get("crc"):
+                raise CheckpointError(
+                    f"checkpoint stage {name} failed its CRC check "
+                    f"({path} is damaged); re-run without --resume"
+                )
+            return json.loads(blob.decode())
+
+    # -- trace fingerprint ----------------------------------------------------
+
+    def set_trace_fingerprint(self, fingerprint: str) -> None:
+        self.manifest["trace_fingerprint"] = fingerprint
+        self._write_manifest()
+
+    def check_trace_fingerprint(self, fingerprint: str) -> None:
+        stored = self.manifest.get("trace_fingerprint")
+        if stored is not None and stored != fingerprint:
+            raise CheckpointError(
+                f"checkpoint trace fingerprint mismatch "
+                f"({stored} != {fingerprint}): the trace this checkpoint "
+                f"was computed from has changed; re-run without --resume"
+            )
+
+    # -- incremental shards ---------------------------------------------------
+
+    def shard_log(self, stage: str) -> ShardLog:
+        """The append-only shard file for an incremental stage; noted in
+        the manifest (``completed: false``) the first time it opens."""
+        log = self._shard_logs.get(stage)
+        if log is None:
+            filename = _INCREMENTAL_FILES[stage]
+            entry = self.manifest["stages"].setdefault(stage, {})
+            if entry.get("shards_file") != filename:
+                entry.update({"shards_file": filename, "completed": False})
+                self._write_manifest()
+            log = ShardLog(os.path.join(self.directory, filename))
+            self._shard_logs[stage] = log
+        return log
+
+    def load_shards(self, stage: str) -> List[Dict[str, Any]]:
+        """Intact shard entries written before a crash (torn tail dropped)."""
+        entries = _read_shard_lines(
+            os.path.join(self.directory, _INCREMENTAL_FILES[stage])
+        )
+        if entries:
+            obs.counter(
+                "checkpoint_shards_resumed_total",
+                "per-shard results recovered from a checkpoint",
+            ).labels(stage=stage).inc(len(entries))
+        return entries
+
+    def seal(self) -> None:
+        """Flush and close every open incremental file (called on clean
+        stage completion *and* on interrupt — the manifest is already
+        consistent because it is rewritten atomically at every step)."""
+        for log in self._shard_logs.values():
+            log.close()
+        self._shard_logs.clear()
+
+
+# -- stage payload builders / restorers ---------------------------------------
+#
+# These keep the (de)serialization of pipeline artifacts next to the
+# store so repro.pipeline stays readable.  Everything round-trips
+# through plain JSON; OpEvents reuse the trace record schema.
+
+
+def run_result_to_dict(result: "object") -> Dict[str, Any]:
+    return {
+        "name": result.name,
+        "seed": result.seed,
+        "steps": result.steps,
+        "clock": result.clock,
+        "completed": result.completed,
+        "wall_seconds": result.wall_seconds,
+        "ops": result.ops,
+        "failures": [
+            {
+                "kind": event.kind.value,
+                "node": event.node,
+                "thread": event.thread,
+                "message": event.message,
+                "step": event.step,
+            }
+            for event in result.failures.events
+        ],
+    }
+
+
+def run_result_from_dict(data: Dict[str, Any]) -> "object":
+    from repro.runtime.cluster import RunResult
+    from repro.runtime.failures import FailureEvent, FailureKind, FailureLog
+
+    failures = FailureLog()
+    for event in data.get("failures", []):
+        failures.record(
+            FailureEvent(
+                kind=FailureKind(event["kind"]),
+                node=event["node"],
+                thread=event["thread"],
+                message=event["message"],
+                step=event["step"],
+            )
+        )
+    return RunResult(
+        name=data["name"],
+        seed=data["seed"],
+        steps=data["steps"],
+        clock=data["clock"],
+        completed=data["completed"],
+        failures=failures,
+        wall_seconds=data["wall_seconds"],
+        ops=data["ops"],
+    )
+
+
+def trace_stage_payload(
+    trace: Trace, base_result: "object", monitored_result: "object"
+) -> Dict[str, Any]:
+    return {
+        "name": trace.name,
+        "partial": bool(getattr(trace, "partial", False)),
+        "thread_files": {
+            str(tid): blob for tid, blob in trace.dump_thread_files().items()
+        },
+        "base_result": run_result_to_dict(base_result),
+        "monitored_result": run_result_to_dict(monitored_result),
+    }
+
+
+def restore_trace_stage(
+    payload: Dict[str, Any],
+) -> Tuple[Trace, "object", "object"]:
+    files = {
+        int(tid): blob for tid, blob in payload["thread_files"].items()
+    }
+    trace = Trace.from_thread_files(files, name=payload.get("name", "trace"))
+    trace.partial = bool(payload.get("partial", False))
+    return (
+        trace,
+        run_result_from_dict(payload["base_result"]),
+        run_result_from_dict(payload["monitored_result"]),
+    )
+
+
+def detection_payload(detection: "object") -> Dict[str, Any]:
+    return {
+        "candidates": [
+            [c.first.seq, c.second.seq] for c in detection.candidates
+        ],
+        "pairs_examined": detection.pairs_examined,
+        "truncated_locations": [
+            list(loc) for loc in detection.truncated_locations
+        ],
+        "workers": detection.workers,
+        "stopped_early": detection.stopped_early,
+        "auto_decision": detection.auto_decision,
+        "confidence": detection.confidence,
+        "analysis_seconds": detection.analysis_seconds,
+    }
+
+
+def restore_detection(
+    payload: Dict[str, Any], trace: Trace, graph: "object"
+) -> "object":
+    from repro.detect.races import Candidate, DetectionResult
+
+    by_seq = {record.seq: record for record in trace.records}
+    try:
+        candidates = [
+            Candidate(by_seq[first], by_seq[second])
+            for first, second in payload["candidates"]
+        ]
+    except KeyError as exc:
+        raise CheckpointError(
+            f"detect checkpoint references seq {exc.args[0]} missing from "
+            f"the trace; re-run without --resume"
+        ) from None
+    return DetectionResult(
+        trace=trace,
+        graph=graph,
+        candidates=candidates,
+        analysis_seconds=payload.get("analysis_seconds", 0.0),
+        pairs_examined=payload.get("pairs_examined", 0),
+        truncated_locations=[
+            tuple(loc) for loc in payload.get("truncated_locations", [])
+        ],
+        workers=payload.get("workers", 1),
+        stopped_early=payload.get("stopped_early", False),
+        auto_decision=payload.get("auto_decision"),
+        confidence=payload.get("confidence", "full"),
+    )
+
+
+def prune_payload(prune_result: "object") -> Dict[str, Any]:
+    return {
+        "decisions": [
+            {
+                "report_id": decision.report.report_id,
+                "keep": decision.keep,
+                "reasons": list(decision.reasons),
+            }
+            for decision in prune_result.decisions
+        ],
+        "seconds": prune_result.seconds,
+    }
+
+
+def restore_prune(payload: Dict[str, Any], reports_pre: "object") -> "object":
+    from repro.analysis.pruner import PruneDecision, PruneResult
+    from repro.detect.report import ReportSet
+
+    by_id = {report.report_id: report for report in reports_pre}
+    decisions = []
+    for entry in payload.get("decisions", []):
+        report = by_id.get(entry["report_id"])
+        if report is None:
+            raise CheckpointError(
+                f"prune checkpoint references report #{entry['report_id']} "
+                f"missing from detection; re-run without --resume"
+            )
+        decisions.append(
+            PruneDecision(
+                report=report,
+                keep=entry["keep"],
+                reasons=list(entry.get("reasons", [])),
+            )
+        )
+    return PruneResult(
+        kept=ReportSet([d.report for d in decisions if d.keep]),
+        pruned=ReportSet([d.report for d in decisions if not d.keep]),
+        decisions=decisions,
+        seconds=payload.get("seconds", 0.0),
+    )
+
+
+def outcome_to_dict(outcome: "object") -> Dict[str, Any]:
+    """Serialize one ``TriggerOutcome`` (per-report checkpoint unit)."""
+    return {
+        "report_id": outcome.report.report_id,
+        "verdict": outcome.verdict.value,
+        "detail": outcome.detail,
+        "plan": outcome.plan.describe() if outcome.plan is not None else "",
+        "runs": [
+            {
+                "order": list(run.order),
+                "seed": run.seed,
+                "enforced": run.enforced,
+                "co_occurred": run.co_occurred,
+                "error": run.error,
+                "result": run_result_to_dict(run.result),
+            }
+            for run in outcome.runs
+        ],
+    }
+
+
+@dataclass
+class RestoredGatePlan:
+    """A checkpointed plan: only its description survives (gates are
+    re-derivable from the trace, but a restored outcome never re-runs)."""
+
+    description: str
+
+    def describe(self) -> str:
+        return self.description
+
+
+def outcome_from_dict(data: Dict[str, Any], report: "object") -> "object":
+    from repro.detect.report import Verdict
+    from repro.trigger.explorer import TriggerOutcome, TriggerRun
+
+    outcome = TriggerOutcome(
+        report=report,
+        plan=RestoredGatePlan(data.get("plan", "")),
+        verdict=Verdict(data["verdict"]),
+        detail=data.get("detail", ""),
+    )
+    for run in data.get("runs", []):
+        outcome.runs.append(
+            TriggerRun(
+                order=tuple(run["order"]),
+                seed=run["seed"],
+                enforced=run["enforced"],
+                co_occurred=run["co_occurred"],
+                result=run_result_from_dict(run["result"]),
+                error=run.get("error"),
+            )
+        )
+    report.verdict = outcome.verdict
+    report.verdict_detail = outcome.detail
+    return outcome

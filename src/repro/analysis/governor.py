@@ -1,0 +1,173 @@
+"""Resource governance for the analysis pipeline.
+
+The north-star deployment is a long-running detection service chewing on
+unbounded WAL streams; there, an analysis stage that runs forever or
+eats all memory takes the tenant fleet down with it.  The
+``ResourceGovernor`` bounds both axes:
+
+* **wall-clock deadlines** — each stage gets ``max_stage_seconds``;
+  cooperative checkpoints (between detect shards, between trigger
+  reports) observe the deadline and stop early, marking the stage
+  *degraded* rather than wedging the process;
+* **memory budget** — ``memory_budget_mb`` caps both the reachability
+  structure's byte accounting (the existing ``TraceAnalysisOOM`` path)
+  and the process RSS, polled from ``/proc/self/statm`` (falling back
+  to ``resource.getrusage``).
+
+On pressure the pipeline degrades along an explicit ladder (see
+``repro.pipeline``): bitset → chain reachability, parallel → serial
+enumeration, ``max_pairs_per_location`` truncation, and finally a
+``degraded`` stage status instead of an exception.  "Dynamic Race
+Detection with O(1) Samples" (PAPERS.md) is the theoretical license:
+detection quality survives deliberately shedding work.
+
+Every decision is observable: ``governor_degradations_total{rung=}``,
+``governor_deadline_exceeded_total{stage=}``, and the
+``governor_rss_mb`` gauge.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro import obs
+
+#: The degradation ladder, in the order rungs are engaged.
+DEGRADATION_LADDER = (
+    "reach_chain",      # bitset -> chain-compressed reachability
+    "detect_serial",    # shrink detect_workers to 1
+    "truncate_pairs",   # engage aggressive max_pairs_per_location
+    "abandoned",        # give up: stage marked degraded, partial result kept
+)
+
+#: ``max_pairs_per_location`` once the ``truncate_pairs`` rung engages.
+TRUNCATED_MAX_PAIRS = 5_000
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def process_rss_mb() -> float:
+    """Current resident set size in MB (high-water fallback on
+    platforms without ``/proc``)."""
+    try:
+        with open("/proc/self/statm") as fh:
+            rss_pages = int(fh.read().split()[1])
+        return rss_pages * _PAGE_SIZE / (1024 * 1024)
+    except (OSError, ValueError, IndexError):
+        try:
+            import resource
+
+            # Linux reports ru_maxrss in KB; a high-water mark is a
+            # conservative stand-in for current RSS.
+            return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+        except Exception:  # pragma: no cover - exotic platforms
+            return 0.0
+
+
+def maybe_stall(point: str) -> None:
+    """Test hook: ``DCATCH_STALL=<point>:<seconds>`` sleeps at a named
+    pipeline point so crash/signal tests get a deterministic window.
+    A no-op unless the environment variable names this exact point."""
+    spec = os.environ.get("DCATCH_STALL")
+    if not spec:
+        return
+    name, _, seconds = spec.partition(":")
+    if name != point:
+        return
+    try:
+        time.sleep(float(seconds or "0"))
+    except ValueError:
+        pass
+
+
+@dataclass
+class StageBudget:
+    """One stage's slice of the governor's budgets."""
+
+    name: str
+    started: float
+    max_seconds: Optional[float] = None
+    deadline_hit: bool = False
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+    def exceeded(self) -> bool:
+        """True once the stage is past its wall-clock deadline.  Sticky:
+        the first observation is also counted on the metric."""
+        if self.max_seconds is None:
+            return False
+        if not self.deadline_hit and self.elapsed() > self.max_seconds:
+            self.deadline_hit = True
+            obs.counter(
+                "governor_deadline_exceeded_total",
+                "pipeline stages that overran max_stage_seconds",
+            ).labels(stage=self.name).inc()
+        return self.deadline_hit
+
+
+@dataclass
+class ResourceGovernor:
+    """Per-run budgets plus the record of every degradation taken."""
+
+    max_stage_seconds: Optional[float] = None
+    memory_budget_mb: Optional[int] = None
+    #: Rungs engaged this run, in order (also on
+    #: ``PipelineResult.degradation``).
+    degradations: List[str] = field(default_factory=list)
+    #: Stages whose wall-clock deadline fired.
+    deadline_stages: List[str] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[StageBudget]:
+        budget = StageBudget(
+            name=name,
+            started=time.perf_counter(),
+            max_seconds=self.max_stage_seconds,
+        )
+        try:
+            yield budget
+        finally:
+            if budget.exceeded() and name not in self.deadline_stages:
+                self.deadline_stages.append(name)
+
+    # -- memory ---------------------------------------------------------------
+
+    def reach_budget(self, configured_bytes: int) -> int:
+        """The reachability byte budget: the configured analysis budget,
+        tightened by the governor's overall memory budget when set."""
+        if self.memory_budget_mb is None:
+            return configured_bytes
+        return min(configured_bytes, self.memory_budget_mb * 1024 * 1024)
+
+    def memory_pressure(self) -> bool:
+        """True when process RSS is above the governor's budget."""
+        if self.memory_budget_mb is None:
+            return False
+        rss = process_rss_mb()
+        obs.gauge("governor_rss_mb", "process RSS at the last poll (MB)").set(
+            round(rss, 1)
+        )
+        return rss > self.memory_budget_mb
+
+    # -- degradation ----------------------------------------------------------
+
+    def degrade(self, rung: str, stage: str, reason: str = "") -> None:
+        """Record one rung of the ladder being engaged."""
+        self.degradations.append(rung)
+        obs.counter(
+            "governor_degradations_total",
+            "degradation-ladder rungs engaged under resource pressure",
+        ).labels(rung=rung, stage=stage).inc()
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "max_stage_seconds": self.max_stage_seconds,
+            "memory_budget_mb": self.memory_budget_mb,
+            "degradations": list(self.degradations),
+            "deadline_stages": list(self.deadline_stages),
+        }

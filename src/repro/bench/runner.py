@@ -212,6 +212,60 @@ def _bench_durable(bug_id: str, trace_dir: str, baseline_tracing: float):
     }
 
 
+def _bench_checkpoint(bug_id: str, plain_wall: float) -> Dict[str, object]:
+    """Checkpointing overhead and resume speedup: a checkpointed run,
+    then a full ``resume=True`` pass over it.
+
+    Overhead is the summed wall time of the ``checkpoint.seal`` spans —
+    the instrumented cost of serializing stage payloads — rather than a
+    wall-clock delta between two runs, which on these sub-second
+    benchmarks is dominated by run-to-run noise."""
+    import shutil
+    import tempfile
+
+    from repro import obs
+
+    workload = workload_by_id(bug_id)
+    ckdir = tempfile.mkdtemp(prefix=f"dcatch-bench-ck-{bug_id}-")
+    registry = obs.MetricsRegistry(name=f"{bug_id}-checkpoint")
+    tracer = obs.SpanTracer(name=f"{bug_id}-checkpoint")
+    try:
+        with obs.use_registry(registry), obs.use_tracer(tracer):
+            _, ck_wall, _ = _timed(
+                lambda: DCatch(
+                    workload, PipelineConfig(checkpoint_dir=ckdir)
+                ).run()
+            )
+        seal_seconds = sum(
+            span.wall_seconds for span in tracer.by_name("checkpoint.seal")
+        )
+        snapshot = registry.snapshot()
+        resumed, resume_wall, _ = _timed(
+            lambda: DCatch(
+                workload,
+                PipelineConfig(checkpoint_dir=ckdir, resume=True),
+            ).run()
+        )
+        return {
+            "wall_seconds": ck_wall,
+            "plain_wall_seconds": plain_wall,
+            "overhead_seconds": round(seal_seconds, 6),
+            "overhead_ratio": round(seal_seconds / ck_wall, 4)
+            if ck_wall > 0
+            else None,
+            "bytes_written": int(
+                snapshot.get("checkpoint_bytes_written_total", {}).get(
+                    "value", 0
+                )
+            ),
+            "resume_wall_seconds": resume_wall,
+            "resume_speedup": round(ck_wall / max(resume_wall, 1e-9), 3),
+            "stages_skipped": list(resumed.stages_skipped),
+        }
+    finally:
+        shutil.rmtree(ckdir, ignore_errors=True)
+
+
 def _bench_one(bug_id: str, trace_dir: Optional[str] = None) -> Dict[str, object]:
     """Per-stage wall/CPU time plus trace size for one benchmark."""
     from repro import obs
@@ -221,7 +275,9 @@ def _bench_one(bug_id: str, trace_dir: Optional[str] = None) -> Dict[str, object
     registry = obs.MetricsRegistry(name=bug_id)
     tracer = obs.SpanTracer(name=bug_id)
     with obs.use_registry(registry), obs.use_tracer(tracer):
-        result = DCatch(workload, PipelineConfig()).run()
+        result, plain_wall, _ = _timed(
+            lambda: DCatch(workload, PipelineConfig()).run()
+        )
 
     stages = _stage_spans(tracer)
     stats = compute_stats(result.trace)
@@ -236,6 +292,7 @@ def _bench_one(bug_id: str, trace_dir: Optional[str] = None) -> Dict[str, object
             "bytes_by_category": dict(sorted(stats.bytes_by_category.items())),
         },
         "reports": len(result.reports) if result.reports is not None else 0,
+        "checkpoint": _bench_checkpoint(bug_id, plain_wall),
     }
     if trace_dir is not None:
         entry["durable_tracing"] = _bench_durable(
@@ -244,6 +301,20 @@ def _bench_one(bug_id: str, trace_dir: Optional[str] = None) -> Dict[str, object
             stages.get("tracing", {}).get("wall_seconds", 0.0),
         )
     return entry
+
+
+def _guarded(bug_id: str, fn) -> Dict[str, object]:
+    """One crashed benchmark case becomes an ``error`` entry instead of
+    sinking the whole artifact."""
+    import sys
+    import traceback
+
+    try:
+        return fn()
+    except Exception as exc:  # noqa: BLE001 - the guard is the point
+        traceback.print_exc(file=sys.stderr)
+        print(f"bench: {bug_id} failed: {exc}", file=sys.stderr)
+        return {"bug_id": bug_id, "error": f"{type(exc).__name__}: {exc}"}
 
 
 def bench_pipeline_data(
@@ -258,7 +329,10 @@ def bench_pipeline_data(
         "version": 1,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
-        "benchmarks": [_bench_one(bug_id, trace_dir) for bug_id in bug_ids],
+        "benchmarks": [
+            _guarded(bug_id, lambda bug_id=bug_id: _bench_one(bug_id, trace_dir))
+            for bug_id in bug_ids
+        ],
     }
 
 
@@ -331,6 +405,19 @@ def _bench_detect_one(bug_id: str, workers: int) -> Dict[str, object]:
         extra={"workers": workers},
     )
 
+    # workers="auto": serial under the record-count threshold (pool
+    # startup dominates tiny traces), the full pool above it.
+    auto, auto_wall, auto_cpu = _timed(
+        lambda: detect_races(trace, workers="auto")
+    )
+    record(
+        "auto",
+        auto,
+        auto_wall,
+        auto_cpu,
+        extra={"workers": auto.workers, "decision": auto.auto_decision},
+    )
+
     # The paper's per-vertex graph (compress_mem=False): bit matrix vs
     # the chain-compressed backend, same vertex set.
     full_bitset = record(
@@ -395,6 +482,7 @@ def _bench_detect_one(bug_id: str, workers: int) -> Dict[str, object]:
     equal = {
         "sharded_matches_serial": _candidate_set(sharded)
         == _candidate_set(serial),
+        "auto_matches_serial": _candidate_set(auto) == _candidate_set(serial),
         "chain_matches_bitset": _candidate_set(full_chain)
         == _candidate_set(full_bitset),
         "full_graph_matches_compressed": _candidate_set(full_bitset)
@@ -446,7 +534,11 @@ def bench_detect_data(
         "chunk_size": DETECT_CHUNK_SIZE,
         "chunk_overlap": DETECT_CHUNK_OVERLAP,
         "benchmarks": [
-            _bench_detect_one(bug_id, workers) for bug_id in bug_ids
+            _guarded(
+                bug_id,
+                lambda bug_id=bug_id: _bench_detect_one(bug_id, workers),
+            )
+            for bug_id in bug_ids
         ],
     }
 

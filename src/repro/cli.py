@@ -13,6 +13,8 @@ Subcommands::
     dcatch trace --load DIR --stats # statistics of a saved trace
     dcatch run MR-3274 --trace-dir ./wal  # durable write-ahead tracing
     dcatch salvage ./wal/MR-3274/seed-0   # recover a trace from a WAL
+    dcatch run MR-3274 --checkpoint-dir ./ckpt   # checkpoint each stage
+    dcatch run MR-3274 --checkpoint-dir ./ckpt --resume  # skip done stages
     dcatch profile minimr 3274      # per-stage span table + exports
     dcatch metrics ZK-1144          # metrics registry after one run
 
@@ -27,7 +29,24 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.errors import TraceFormatError, UnknownBenchmarkError
+from repro.errors import (
+    CheckpointError,
+    PipelineInterrupted,
+    TraceFormatError,
+    UnknownBenchmarkError,
+)
+
+
+def _parse_workers(raw: str) -> "object":
+    """--workers N | 0 | auto (auto sizes from the trace)."""
+    if raw == "auto":
+        return raw
+    try:
+        return int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {raw!r}"
+        ) from None
 
 
 def _resolve(args: argparse.Namespace):
@@ -70,6 +89,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         reach_backend=args.reach_backend,
         trace_dir=args.trace_dir,
         trigger_max_wait=args.trigger_max_wait,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        max_stage_seconds=args.max_stage_seconds,
+        memory_budget_mb=args.memory_budget_mb,
     )
     result = DCatch(workload, config).run()
     print(result.summary())
@@ -280,11 +303,12 @@ def _add_analysis_flags(parser: argparse.ArgumentParser) -> None:
     """Trace-analysis knobs shared by ``run``/``profile``/``metrics``."""
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_parse_workers,
         default=1,
         metavar="N",
         help="worker processes for candidate enumeration "
-        "(1 = serial, 0 = one per CPU; same candidates either way)",
+        "(1 = serial, 0 = one per CPU, auto = serial on small traces; "
+        "same candidates either way)",
     )
     parser.add_argument(
         "--reach-backend",
@@ -349,6 +373,38 @@ def build_parser() -> argparse.ArgumentParser:
         dest="trigger_max_wait",
         help="watchdog: release a gated trigger party held longer than "
         "TICKS logical clock ticks (run counts as not enforced)",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        dest="checkpoint_dir",
+        help="checkpoint each completed stage under DIR; a killed run "
+        "restarts from the last sealed stage with --resume",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint-dir: skip completed stages, "
+        "continue from the first incomplete shard",
+    )
+    run.add_argument(
+        "--max-stage-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        dest="max_stage_seconds",
+        help="wall-clock deadline per stage; an overrunning stage stops "
+        "early and is marked degraded instead of wedging",
+    )
+    run.add_argument(
+        "--memory-budget-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        dest="memory_budget_mb",
+        help="overall memory budget; under pressure the pipeline sheds "
+        "work along the degradation ladder instead of dying",
     )
     _add_analysis_flags(run)
     run.set_defaults(fn=_cmd_run)
@@ -478,12 +534,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except (UnknownBenchmarkError, TraceFormatError) as exc:
+    except (UnknownBenchmarkError, TraceFormatError, CheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except PipelineInterrupted as exc:
+        hint = (
+            f" (resume with --checkpoint-dir {exc.checkpoint_dir} --resume)"
+            if exc.checkpoint_dir
+            else ""
+        )
+        print(
+            f"interrupted: {exc}; checkpoint sealed{hint}", file=sys.stderr
+        )
+        return 130
 
 
 if __name__ == "__main__":

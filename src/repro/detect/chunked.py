@@ -107,7 +107,10 @@ def detect_races_chunked(
     per_chunk: List[int] = []
     truncated: Dict[Location, None] = {}  # ordered, deduplicated
     chunks = chunk_trace(trace, chunk_size, overlap)
-    effective_workers = min(resolve_workers(workers), max(1, len(chunks)))
+    effective_workers = min(
+        resolve_workers(workers, records=len(trace.records)),
+        max(1, len(chunks)),
+    )
     with obs.span(
         "detect.chunked",
         chunks=len(chunks),

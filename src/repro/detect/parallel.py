@@ -25,14 +25,28 @@ from __future__ import annotations
 
 import os
 from multiprocessing import get_context
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+#: Record count below which ``workers="auto"`` picks the serial path.
+#: Pool setup (fork + initializer + result pickling) costs milliseconds;
+#: on small traces that fixed cost dwarfs the enumeration itself and
+#: chunked-parallel runs ~10x slower than serial (see BENCH_detect.json).
+AUTO_SERIAL_THRESHOLD = 50_000
 
 
-def resolve_workers(workers: Optional[int]) -> int:
+def resolve_workers(
+    workers: "Union[int, str, None]", records: Optional[int] = None
+) -> int:
     """Normalize a worker-count knob: ``None``/``1`` → serial, ``0`` →
-    one worker per CPU, ``n`` → ``n``."""
+    one worker per CPU, ``n`` → ``n``.  ``"auto"`` sizes from the trace:
+    serial below ``AUTO_SERIAL_THRESHOLD`` records (where pool overhead
+    dominates), one worker per CPU above it."""
     if workers is None:
         return 1
+    if workers == "auto":
+        if records is not None and records < AUTO_SERIAL_THRESHOLD:
+            return 1
+        return os.cpu_count() or 1
     workers = int(workers)
     if workers == 0:
         return os.cpu_count() or 1
@@ -84,28 +98,54 @@ def _run_shard(indices: Sequence[int]) -> List[tuple]:
 
 
 def run_location_shards(
-    graph, work: Sequence[tuple], max_pairs: int, workers: int
-) -> List[Tuple[List[tuple], int, bool]]:
+    graph,
+    work: Sequence[tuple],
+    max_pairs: int,
+    workers: int,
+    indices: Optional[Sequence[int]] = None,
+    on_result: Optional[Callable[[int, list, int, bool], None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> Tuple[List[Optional[Tuple[List[tuple], int, bool]]], bool]:
     """Enumerate conflicting pairs for ``work`` (a list of
-    ``(location, accesses)`` entries) across a process pool.  Returns
-    one ``(seq_pairs, pairs_examined, truncated)`` triple per entry, in
-    input order."""
-    indices = list(range(len(work)))
+    ``(location, accesses)`` entries) across a process pool.
+
+    Returns ``(results, stopped)`` where ``results`` holds one
+    ``(seq_pairs, pairs_examined, truncated)`` triple per ``work`` entry
+    in input order (``None`` for entries not enumerated).  ``indices``
+    restricts enumeration to a subset (resume skips checkpointed
+    shards); ``on_result`` streams each location's triple as its shard
+    lands (checkpoint appends); ``should_stop`` is polled between shard
+    arrivals — when it returns true the pool is torn down early and
+    ``stopped`` is true."""
+    if indices is None:
+        indices = list(range(len(work)))
     # Interleaved shards: neighbouring locations often have similar
     # access counts, so striding balances better than block splits.
-    shards = [indices[k::workers] for k in range(workers)]
+    shards = [list(indices)[k::workers] for k in range(workers)]
     shards = [shard for shard in shards if shard]
     results: List = [None] * len(work)
+    stopped = False
+    if not shards:
+        return results, stopped
     ctx = _mp_context()
     with ctx.Pool(
         processes=len(shards),
         initializer=_init_shard_worker,
         initargs=(graph, work, max_pairs),
     ) as pool:
-        for shard_result in pool.map(_run_shard, shards):
+        # Unordered streaming: per-location results are indexed, so
+        # arrival order never affects the merged candidate list, and a
+        # crash between arrivals only loses the in-flight shard.
+        for shard_result in pool.imap_unordered(_run_shard, shards):
             for index, seq_pairs, pairs, truncated in shard_result:
                 results[index] = (seq_pairs, pairs, truncated)
-    return results
+                if on_result is not None:
+                    on_result(index, seq_pairs, pairs, truncated)
+            if should_stop is not None and should_stop():
+                stopped = True
+                pool.terminate()
+                break
+    return results, stopped
 
 
 # -- chunk fan-out ------------------------------------------------------------

@@ -21,7 +21,7 @@ import time
 from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro import obs
 from repro.hb.graph import DEFAULT_MEMORY_BUDGET, HBGraph
@@ -84,6 +84,12 @@ class DetectionResult:
     truncated_locations: List[Location] = field(default_factory=list)
     #: Worker processes used for enumeration (1 = in-process serial).
     workers: int = 1
+    #: True when enumeration stopped early (wall-clock deadline):
+    #: locations after the stop point were never examined.
+    stopped_early: bool = False
+    #: ``"serial"``/``"parallel"`` when ``workers="auto"`` chose the
+    #: path, None when the caller fixed the worker count.
+    auto_decision: Optional[str] = None
     #: ``"full"`` when the trace was complete; ``"partial"`` when the HB
     #: graph was built from a damaged/salvaged trace — candidates are
     #: still sound for the records that survived, but pairs involving
@@ -167,16 +173,29 @@ def detect_races(
     memory_budget: int = DEFAULT_MEMORY_BUDGET,
     graph: Optional[HBGraph] = None,
     max_pairs_per_location: int = 200_000,
-    workers: Optional[int] = None,
+    workers: "Union[int, str, None]" = None,
     reach_backend: str = "bitset",
+    on_shard: Optional[Callable[[int, list, int, bool], None]] = None,
+    completed_shards: Optional[Dict[int, tuple]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> DetectionResult:
     """Run trace analysis: build the HB graph, enumerate candidates.
 
     ``workers`` shards per-location enumeration across a process pool
-    (``None``/``1`` = serial, ``0`` = one worker per CPU); the candidate
+    (``None``/``1`` = serial, ``0`` = one worker per CPU, ``"auto"`` =
+    serial on small traces, one per CPU on large ones); the candidate
     list is identical for every worker count.  ``reach_backend`` selects
     the reachability engine when the graph is built here (ignored when a
     prebuilt ``graph`` is passed).
+
+    The last three knobs support checkpointed pipelines: ``on_shard``
+    receives each location's ``(index, seq_pairs, pairs, truncated)`` as
+    it is enumerated, ``completed_shards`` maps work indices to triples
+    restored from a checkpoint (those locations are merged, not
+    re-enumerated), and ``should_stop`` is polled between locations —
+    returning true stops enumeration early (``stopped_early`` on the
+    result).  The merged candidate list stays in work order, so a
+    resumed detection is byte-identical to an uninterrupted one.
     """
     started = time.perf_counter()
     if graph is None:
@@ -198,46 +217,77 @@ def detect_races(
         if any(a.kind is OpKind.MEM_WRITE for a in accesses)
     ]
 
+    from repro.analysis.governor import maybe_stall
     from repro.detect.parallel import resolve_workers, run_location_shards
 
-    effective_workers = min(resolve_workers(workers), max(1, len(work)))
+    auto_decision = None
+    resolved = resolve_workers(workers, records=len(trace.records))
+    if workers == "auto":
+        auto_decision = "serial" if resolved == 1 else "parallel"
+        obs.counter(
+            "detect_auto_workers_total",
+            'worker-count decisions made by workers="auto"',
+        ).labels(decision=auto_decision).inc()
+    effective_workers = min(resolved, max(1, len(work)))
 
-    candidates: List[Candidate] = []
-    truncated_locations: List[Location] = []
-    examined = 0
+    completed = completed_shards or {}
+    results: List[Optional[tuple]] = [None] * len(work)
+    for index, triple in completed.items():
+        if 0 <= index < len(work):
+            results[index] = triple
+    pending = [i for i in range(len(work)) if results[i] is None]
+
+    stopped_early = False
     with obs.span(
         "detect.enumerate",
         locations=len(by_location),
         workers=effective_workers,
     ):
-        if effective_workers > 1:
+        if effective_workers > 1 and pending:
             # Finish the reachability structure first so forked workers
             # inherit it instead of each recomputing it.
             graph.reach_stats()
-            by_seq = {r.seq: r for r in trace.records}
-            shard_results = run_location_shards(
-                graph, work, max_pairs_per_location, effective_workers
+            shard_results, stopped_early = run_location_shards(
+                graph,
+                work,
+                max_pairs_per_location,
+                effective_workers,
+                indices=pending,
+                on_result=on_shard,
+                should_stop=should_stop,
             )
-            for (location, _accesses), (seq_pairs, pairs, truncated) in zip(
-                work, shard_results
-            ):
-                examined += pairs
-                if truncated:
-                    truncated_locations.append(location)
-                for first_seq, second_seq in seq_pairs:
-                    candidates.append(
-                        Candidate(by_seq[first_seq], by_seq[second_seq])
-                    )
+            for index in pending:
+                results[index] = shard_results[index]
         else:
-            for location, accesses in work:
+            for index in pending:
+                if should_stop is not None and should_stop():
+                    stopped_early = True
+                    break
+                _location, accesses = work[index]
                 found, pairs, truncated = _conflicting_pairs_at(
                     accesses, graph, max_pairs_per_location
                 )
-                examined += pairs
-                if truncated:
-                    truncated_locations.append(location)
-                for a, b in found:
-                    candidates.append(Candidate(a, b))
+                seq_pairs = [(a.seq, b.seq) for a, b in found]
+                results[index] = (seq_pairs, pairs, truncated)
+                if on_shard is not None:
+                    on_shard(index, seq_pairs, pairs, truncated)
+                maybe_stall("detect_shard")
+
+    # Merge in work order — identical output for serial, parallel,
+    # and checkpoint-resumed enumeration.
+    by_seq = {r.seq: r for r in trace.records}
+    candidates: List[Candidate] = []
+    truncated_locations: List[Location] = []
+    examined = 0
+    for index, triple in enumerate(results):
+        if triple is None:
+            continue  # stopped early before reaching this location
+        seq_pairs, pairs, truncated = triple
+        examined += pairs
+        if truncated:
+            truncated_locations.append(work[index][0])
+        for first_seq, second_seq in seq_pairs:
+            candidates.append(Candidate(by_seq[first_seq], by_seq[second_seq]))
 
     obs.counter("detect_pairs_examined_total", "access pairs HB-checked").inc(
         examined
@@ -259,6 +309,11 @@ def detect_races(
             "see DetectionResult.truncated_locations",
             file=sys.stderr,
         )
+    if stopped_early:
+        obs.counter(
+            "detect_stopped_early_total",
+            "detections cut short by a deadline",
+        ).inc()
     elapsed = time.perf_counter() - started
     return DetectionResult(
         trace=trace,
@@ -268,5 +323,7 @@ def detect_races(
         pairs_examined=examined,
         truncated_locations=truncated_locations,
         workers=effective_workers,
+        stopped_early=stopped_early,
+        auto_decision=auto_decision,
         confidence="partial" if getattr(graph, "partial", False) else "full",
     )

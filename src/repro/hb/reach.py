@@ -88,6 +88,26 @@ class BitsetReachability:
             "vertices": self.vertices,
         }
 
+    # -- checkpointing --------------------------------------------------------
+
+    def to_snapshot(self) -> Dict[str, object]:
+        """JSON-serializable state (reachable sets as hex strings)."""
+        return {
+            "backend": self.backend,
+            "vertices": self.vertices,
+            "rows_hex": [format(row, "x") for row in self._reach],
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, graph: "object", snapshot: Dict[str, object]
+    ) -> "BitsetReachability":
+        self = cls.__new__(cls)
+        self.vertices = int(snapshot["vertices"])
+        self.required_bytes = (self.vertices * self.vertices) // 8
+        self._reach = [int(row, 16) for row in snapshot["rows_hex"]]
+        return self
+
 
 class ChainReachability:
     """Chain-compressed reachable sets: one ``array('i')`` of per-chain
@@ -167,6 +187,31 @@ class ChainReachability:
             "chains": self.chains,
         }
 
+    # -- checkpointing --------------------------------------------------------
+
+    def to_snapshot(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "vertices": self.vertices,
+            "chains": self.chains,
+            "chain_id": list(self._chain_id),
+            "chain_pos": list(self._chain_pos),
+            "rows": [list(row) for row in self._rows],
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, graph: "object", snapshot: Dict[str, object]
+    ) -> "ChainReachability":
+        self = cls.__new__(cls)
+        self.vertices = int(snapshot["vertices"])
+        self.chains = int(snapshot["chains"])
+        self._chain_id = list(snapshot["chain_id"])
+        self._chain_pos = list(snapshot["chain_pos"])
+        self._rows = [array("i", row) for row in snapshot["rows"]]
+        self.required_bytes = self.vertices * self.chains * CHAIN_ENTRY_BYTES
+        return self
+
 
 _BACKENDS = {
     "bitset": BitsetReachability,
@@ -184,3 +229,16 @@ def build_reachability(graph: "object"):
             f"expected one of {REACH_BACKENDS}"
         ) from None
     return cls(graph)
+
+
+def restore_reachability(graph: "object", snapshot: Dict[str, object]):
+    """Rebuild a backend from its checkpointed snapshot (no recompute)."""
+    backend = snapshot.get("backend")
+    try:
+        cls = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown reachability snapshot backend {backend!r}; "
+            f"expected one of {REACH_BACKENDS}"
+        ) from None
+    return cls.from_snapshot(graph, snapshot)

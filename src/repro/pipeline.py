@@ -17,17 +17,24 @@ record breakdowns (Table 7).
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro import obs
 from repro.analysis.astutil import SourceIndex
+from repro.analysis.governor import (
+    TRUNCATED_MAX_PAIRS,
+    ResourceGovernor,
+    maybe_stall,
+)
 from repro.analysis.pruner import PruneResult, StaticPruner
 from repro.detect.races import DetectionResult, detect_races
 from repro.detect.report import ReportSet, Verdict
-from repro.errors import TraceAnalysisOOM
-from repro.hb.graph import DEFAULT_MEMORY_BUDGET
+from repro.errors import CheckpointError, PipelineInterrupted, TraceAnalysisOOM
+from repro.hb.graph import DEFAULT_MEMORY_BUDGET, HBGraph
 from repro.hb.model import FULL_MODEL, HBModel
 from repro.runtime.cluster import Cluster, RunResult
 from repro.runtime.faults import FaultPlan
@@ -49,10 +56,19 @@ class PipelineConfig:
     #: Reachability engine for trace analysis: "bitset" (the paper's
     #: bit matrix) or "chain" (segment-chain compression, lower memory).
     reach_backend: str = "bitset"
+    #: Compress memory accesses to segment positions in the HB backbone
+    #: (the paper's design).  False keeps every record on the backbone —
+    #: Table 8's blow-up — which is where the degradation ladder's
+    #: bitset→chain rung earns its keep.
+    compress_mem: bool = True
     #: Worker processes for candidate enumeration: 1 = serial (the
-    #: default), 0 = one per CPU, N = exactly N.  Any value returns the
-    #: same candidates.
-    detect_workers: int = 1
+    #: default), 0 = one per CPU, N = exactly N, ``"auto"`` = serial on
+    #: small traces where pool overhead dominates, one per CPU on large
+    #: ones.  Any value returns the same candidates.
+    detect_workers: "Union[int, str]" = 1
+    #: Cap on eligible pairs enumerated per memory location (the
+    #: governor's ``truncate_pairs`` rung tightens this under pressure).
+    max_pairs_per_location: int = 200_000
     interprocedural_depth: int = 1
     prune: bool = True
     trigger: bool = True
@@ -76,6 +92,24 @@ class PipelineConfig:
     #: every instrumentation point hits the no-op registry/tracer and the
     #: result carries an empty ``metrics`` snapshot and no profile.
     observe: bool = True
+    #: Checkpoint/resume: when set, every completed stage is serialized
+    #: under this directory (manifest + CRC-checked payloads; detection
+    #: and triggering also keep incremental shard files), and SIGINT/
+    #: SIGTERM seal the checkpoint before exiting.
+    checkpoint_dir: Optional[str] = None
+    #: Resume from ``checkpoint_dir``: validate the manifest against
+    #: this config and the trace, skip completed stages, and continue
+    #: from the first incomplete shard.
+    resume: bool = False
+    #: Wall-clock deadline per stage (seconds).  Cooperative: detection
+    #: checks it between location shards, triggering between reports; an
+    #: overrunning stage stops early and is marked degraded.
+    max_stage_seconds: Optional[float] = None
+    #: Overall memory budget (MB) enforced by the ``ResourceGovernor``:
+    #: tightens the reachability byte budget and, when process RSS
+    #: exceeds it, engages the degradation ladder
+    #: (bitset→chain, parallel→serial, pair truncation).
+    memory_budget_mb: Optional[int] = None
 
 
 @dataclass
@@ -99,6 +133,17 @@ class PipelineResult:
     #: intact — the pipeline returns what it has instead of raising.
     stage_failures: Dict[str, int] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
+    #: Per-stage outcome: ``"ok"``, ``"skipped"`` (restored from a
+    #: checkpoint), ``"degraded"`` (completed under the ladder or cut
+    #: short by a deadline), or ``"failed"``.
+    stage_status: Dict[str, str] = field(default_factory=dict)
+    #: Degradation-ladder rungs engaged this run, in order (see
+    #: ``repro.analysis.governor.DEGRADATION_LADDER``).
+    degradation: List[str] = field(default_factory=list)
+    #: Stages restored from the checkpoint instead of recomputed.
+    stages_skipped: List[str] = field(default_factory=list)
+    #: Where this run checkpointed, when it did.
+    checkpoint_dir: Optional[str] = None
     #: Metrics snapshot of the run (``MetricsRegistry.snapshot()``) —
     #: empty when ``config.observe`` is false.  Benchmarks and fault
     #: campaigns assert on this instead of re-deriving counts.
@@ -109,8 +154,14 @@ class PipelineResult:
 
     @property
     def degraded(self) -> bool:
-        """True when some stage failed and the result is partial."""
-        return bool(self.stage_failures) or self.oom is not None
+        """True when some stage failed, was cut short, or completed only
+        by shedding work along the degradation ladder."""
+        return (
+            bool(self.stage_failures)
+            or self.oom is not None
+            or bool(self.degradation)
+            or "degraded" in self.stage_status.values()
+        )
 
     # -- Table 4-style counts ------------------------------------------------
 
@@ -156,6 +207,13 @@ class PipelineResult:
                 f"{stage}: {count}" for stage, count in sorted(self.stage_failures.items())
             )
             lines.append(f"partial failures: {parts}")
+        if self.degradation:
+            lines.append(f"degraded: {' -> '.join(self.degradation)}")
+        if self.stages_skipped:
+            lines.append(
+                f"resumed: skipped {', '.join(self.stages_skipped)} "
+                f"(checkpoint {self.checkpoint_dir})"
+            )
         for key, value in sorted(self.timings.items()):
             lines.append(f"  {key}: {value:.3f}s")
         return "\n".join(lines)
@@ -247,23 +305,126 @@ class DCatch:
         return result
 
     def _run_stages(self) -> PipelineResult:
+        """Set up governance, checkpointing, and signal handling, then
+        run the stages.  SIGINT/SIGTERM (installed only when a
+        checkpoint directory is configured — otherwise there is nothing
+        to seal) raise ``PipelineInterrupted`` at the next bytecode
+        boundary; the checkpoint's incremental files are flushed
+        per-shard and its manifest is replaced atomically, so whatever
+        the signal lands on, the directory stays resumable."""
+        config = self.config
+        governor = ResourceGovernor(
+            max_stage_seconds=config.max_stage_seconds,
+            memory_budget_mb=config.memory_budget_mb,
+        )
+        store = None
+        if config.resume and not config.checkpoint_dir:
+            raise CheckpointError(
+                "resume requires a checkpoint directory (--checkpoint-dir)"
+            )
+        if config.checkpoint_dir:
+            from repro.analysis import checkpoint as ckpt
+
+            store = ckpt.CheckpointStore(
+                directory=config.checkpoint_dir,
+                benchmark=self.workload.info.bug_id,
+                config_fp=ckpt.config_fingerprint(
+                    self.workload.info.bug_id, config
+                ),
+                resume=config.resume,
+            )
+
+        previous_handlers: Dict[int, object] = {}
+        if (
+            store is not None
+            and threading.current_thread() is threading.main_thread()
+        ):
+
+            def _on_signal(signum: int, _frame: object) -> None:
+                raise PipelineInterrupted(
+                    f"interrupted by {signal.Signals(signum).name}",
+                    checkpoint_dir=store.directory,
+                )
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous_handlers[signum] = signal.signal(
+                        signum, _on_signal
+                    )
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+
+        try:
+            return self._run_stages_governed(governor, store)
+        except PipelineInterrupted:
+            obs.counter(
+                "pipeline_interrupted_total",
+                "pipeline runs stopped by SIGINT/SIGTERM",
+            ).inc()
+            raise
+        finally:
+            if store is not None:
+                store.seal()
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
+
+    def _run_stages_governed(
+        self, governor: ResourceGovernor, store: "object"
+    ) -> PipelineResult:
         config = self.config
         timings: Dict[str, float] = {}
+        stage_status: Dict[str, str] = {}
         obs.counter("pipeline_runs_total", "DCatch pipeline executions").inc()
 
-        started = time.perf_counter()
-        with obs.span("pipeline.base", workload=self.workload.info.bug_id):
-            base_result = self.run_base()
-        timings["base_seconds"] = time.perf_counter() - started
+        if store is not None:
+            from repro.analysis import checkpoint as ckpt
 
-        started = time.perf_counter()
-        with obs.span("pipeline.tracing", scope=config.scope):
-            monitored_result, trace = self.run_traced()
-            if obs.enabled():
-                from repro.trace.stats import compute_stats, publish_stats
+        def restore(stage: str):
+            """Load a completed stage's payload and account the skip."""
+            payload = store.load_stage(stage)
+            store.mark_skipped(stage)
+            stage_status[stage] = "skipped"
+            return payload
 
-                publish_stats(compute_stats(trace))
-        timings["tracing_seconds"] = time.perf_counter() - started
+        # -- run-time tracing (base + monitored) ------------------------------
+        if store is not None and store.stage_completed("trace"):
+            payload = restore("trace")
+            trace, base_result, monitored_result = ckpt.restore_trace_stage(
+                payload
+            )
+            store.check_trace_fingerprint(ckpt.trace_fingerprint(trace))
+            timings.update(payload.get("timings", {}))
+        else:
+            with governor.stage("trace"):
+                started = time.perf_counter()
+                with obs.span(
+                    "pipeline.base", workload=self.workload.info.bug_id
+                ):
+                    base_result = self.run_base()
+                timings["base_seconds"] = time.perf_counter() - started
+
+                started = time.perf_counter()
+                with obs.span("pipeline.tracing", scope=config.scope):
+                    monitored_result, trace = self.run_traced()
+                    if obs.enabled():
+                        from repro.trace.stats import (
+                            compute_stats,
+                            publish_stats,
+                        )
+
+                        publish_stats(compute_stats(trace))
+                timings["tracing_seconds"] = time.perf_counter() - started
+            if store is not None:
+                payload = ckpt.trace_stage_payload(
+                    trace, base_result, monitored_result
+                )
+                payload["timings"] = {
+                    key: timings[key]
+                    for key in ("base_seconds", "tracing_seconds")
+                }
+                store.seal_stage("trace", payload)
+                store.set_trace_fingerprint(ckpt.trace_fingerprint(trace))
+            stage_status["trace"] = "ok"
 
         detection = None
         reports_pre = None
@@ -276,71 +437,282 @@ class DCatch:
 
         def stage_failed(stage: str, exc: Exception) -> None:
             stage_failures[stage] = stage_failures.get(stage, 0) + 1
+            stage_status[stage] = "failed"
             errors.append(f"{stage}: {type(exc).__name__}: {exc}")
             obs.counter(
                 "pipeline_stage_failures_total", "degraded pipeline stages"
             ).labels(stage=stage).inc()
 
+        # -- trace analysis: HB graph, reachability, detection ----------------
+        # The governor may tighten the reachability byte budget, and the
+        # degradation ladder responds to OOM/RSS pressure one rung at a
+        # time instead of giving up on the first failed allocation.
+        reach_budget = governor.reach_budget(config.memory_budget)
         try:
             started = time.perf_counter()
-            with obs.span("pipeline.analysis"):
-                detection = detect_races(
-                    trace,
-                    model=config.model,
-                    memory_budget=config.memory_budget,
-                    workers=config.detect_workers,
-                    reach_backend=config.reach_backend,
-                )
+            with obs.span("pipeline.analysis"), governor.stage(
+                "analysis"
+            ) as budget:
+                if store is not None and store.stage_completed("hb"):
+                    graph = HBGraph.from_snapshot(
+                        trace,
+                        restore("hb"),
+                        model=config.model,
+                        memory_budget=reach_budget,
+                        reach_backend=config.reach_backend,
+                    )
+                else:
+                    maybe_stall("hb_build")
+                    graph = HBGraph(
+                        trace,
+                        model=config.model,
+                        memory_budget=reach_budget,
+                        compress_mem=config.compress_mem,
+                        reach_backend=config.reach_backend,
+                    )
+                    if store is not None:
+                        store.seal_stage("hb", graph.to_snapshot())
+                    stage_status["hb"] = "ok"
+
+                if store is not None and store.stage_completed("reach"):
+                    graph.restore_reach(restore("reach"))
+                else:
+                    # Ladder rung 1: a bitset OOM retries with the
+                    # chain-compressed backend before giving up.
+                    while True:
+                        try:
+                            graph.reach_stats()
+                            break
+                        except TraceAnalysisOOM as exc:
+                            if graph.reach_backend == "bitset":
+                                governor.degrade(
+                                    "reach_chain", "reach", str(exc)
+                                )
+                                graph.reach_backend = "chain"
+                                graph._reach = None
+                                continue
+                            governor.degrade("abandoned", "reach", str(exc))
+                            raise
+                    if store is not None:
+                        store.seal_stage("reach", graph.reach_snapshot())
+                    stage_status["reach"] = (
+                        "degraded"
+                        if "reach_chain" in governor.degradations
+                        else "ok"
+                    )
+
+                # Ladder rungs 2 and 3: under RSS pressure shrink the
+                # worker pool (forked workers multiply RSS), then
+                # tighten the per-location pair cap.
+                from repro.detect.parallel import resolve_workers
+
+                workers = config.detect_workers
+                max_pairs = config.max_pairs_per_location
+                if governor.memory_pressure():
+                    if resolve_workers(workers, len(trace.records)) > 1:
+                        governor.degrade(
+                            "detect_serial",
+                            "detect",
+                            "process RSS above memory_budget_mb",
+                        )
+                        workers = 1
+                    if governor.memory_pressure():
+                        governor.degrade(
+                            "truncate_pairs",
+                            "detect",
+                            "process RSS above memory_budget_mb",
+                        )
+                        max_pairs = min(max_pairs, TRUNCATED_MAX_PAIRS)
+
+                if store is not None and store.stage_completed("detect"):
+                    payload = restore("detect")
+                    detection = ckpt.restore_detection(payload, trace, graph)
+                    timings["analysis_seconds"] = payload.get(
+                        "analysis_seconds", 0.0
+                    )
+                else:
+                    on_shard = None
+                    completed_shards = None
+                    if store is not None:
+                        completed_shards = {
+                            entry["index"]: (
+                                entry["pairs"],
+                                entry["examined"],
+                                entry["truncated"],
+                            )
+                            for entry in store.load_shards("detect")
+                        }
+                        shard_log = store.shard_log("detect")
+
+                        def on_shard(index, seq_pairs, pairs, truncated):
+                            shard_log.append(
+                                {
+                                    "index": index,
+                                    "pairs": [list(p) for p in seq_pairs],
+                                    "examined": pairs,
+                                    "truncated": truncated,
+                                }
+                            )
+
+                    detection = detect_races(
+                        trace,
+                        model=config.model,
+                        memory_budget=reach_budget,
+                        graph=graph,
+                        max_pairs_per_location=max_pairs,
+                        workers=workers,
+                        reach_backend=config.reach_backend,
+                        on_shard=on_shard,
+                        completed_shards=completed_shards,
+                        should_stop=budget.exceeded,
+                    )
+                    if store is not None:
+                        store.seal_stage(
+                            "detect", ckpt.detection_payload(detection)
+                        )
+                    stage_status["detect"] = (
+                        "degraded" if detection.stopped_early else "ok"
+                    )
                 reports_pre = ReportSet.from_detection(detection)
             reports = reports_pre
-            timings["analysis_seconds"] = time.perf_counter() - started
+            timings.setdefault(
+                "analysis_seconds", time.perf_counter() - started
+            )
+        except (PipelineInterrupted, CheckpointError):
+            raise
         except TraceAnalysisOOM as exc:
+            # The whole ladder was exhausted: record the OOM and mark the
+            # stage degraded instead of raising.
             oom = exc
+            stage_failed("analysis", exc)
         except Exception as exc:  # noqa: BLE001 - degrade, don't die
             stage_failed("analysis", exc)
 
+        # -- static pruning ---------------------------------------------------
         if reports is not None and config.prune:
-            try:
-                started = time.perf_counter()
-                with obs.span("pipeline.pruning"):
-                    index = SourceIndex.from_modules(self.workload.modules())
-                    pruner = StaticPruner.for_trace(
-                        index,
-                        trace,
-                        interprocedural_depth=config.interprocedural_depth,
-                    )
-                    prune_result = pruner.apply(reports_pre)
+            if store is not None and store.stage_completed("prune"):
+                payload = restore("prune")
+                prune_result = ckpt.restore_prune(payload, reports_pre)
                 reports = prune_result.kept
-                timings["pruning_seconds"] = time.perf_counter() - started
-            except Exception as exc:  # noqa: BLE001
-                # Pruning is an optimization: fall back to the unpruned set.
-                stage_failed("pruning", exc)
-                reports = reports_pre
-
-        if reports is not None and detection is not None and config.trigger:
-            started = time.perf_counter()
-            with obs.span("pipeline.trigger", reports=len(reports)):
+                timings["pruning_seconds"] = payload.get("seconds", 0.0)
+            else:
                 try:
-                    placement = PlacementAnalyzer(trace, detection.graph)
-                    module = TriggerModule(
-                        self.workload.factory(),
-                        seeds=config.trigger_seeds,
-                        max_wait=config.trigger_max_wait,
-                    )
+                    started = time.perf_counter()
+                    with obs.span("pipeline.pruning"):
+                        index = SourceIndex.from_modules(
+                            self.workload.modules()
+                        )
+                        pruner = StaticPruner.for_trace(
+                            index,
+                            trace,
+                            interprocedural_depth=config.interprocedural_depth,
+                        )
+                        prune_result = pruner.apply(reports_pre)
+                    reports = prune_result.kept
+                    timings["pruning_seconds"] = time.perf_counter() - started
+                    if store is not None:
+                        store.seal_stage(
+                            "prune", ckpt.prune_payload(prune_result)
+                        )
+                    stage_status["prune"] = "ok"
+                except (PipelineInterrupted, CheckpointError):
+                    raise
                 except Exception as exc:  # noqa: BLE001
-                    stage_failed("trigger", exc)
-                else:
-                    for report in reports:
-                        # Each report's re-runs are isolated: one hung or
-                        # crashed trigger execution is that report's outcome,
-                        # not the pipeline's.
-                        try:
-                            outcomes.append(
-                                module.validate_report(report, placement)
+                    # Pruning is an optimization: fall back to the
+                    # unpruned set.
+                    stage_failed("pruning", exc)
+                    reports = reports_pre
+
+        # -- triggering -------------------------------------------------------
+        if reports is not None and detection is not None and config.trigger:
+            if store is not None and store.stage_completed("trigger"):
+                payload = restore("trigger")
+                done = {
+                    entry["report_id"]: entry
+                    for entry in store.load_shards("trigger")
+                }
+                for report in reports:
+                    if report.report_id in done:
+                        outcomes.append(
+                            ckpt.outcome_from_dict(
+                                done[report.report_id], report
                             )
-                        except Exception as exc:  # noqa: BLE001
-                            stage_failed("trigger", exc)
-            timings["trigger_seconds"] = time.perf_counter() - started
+                        )
+                timings["trigger_seconds"] = payload.get("seconds", 0.0)
+            else:
+                started = time.perf_counter()
+                with obs.span(
+                    "pipeline.trigger", reports=len(reports)
+                ), governor.stage("trigger") as budget:
+                    done = {}
+                    trigger_log = None
+                    if store is not None:
+                        done = {
+                            entry["report_id"]: entry
+                            for entry in store.load_shards("trigger")
+                        }
+                        trigger_log = store.shard_log("trigger")
+                    try:
+                        placement = PlacementAnalyzer(trace, detection.graph)
+                        module = TriggerModule(
+                            self.workload.factory(),
+                            seeds=config.trigger_seeds,
+                            max_wait=config.trigger_max_wait,
+                        )
+                    except (PipelineInterrupted, CheckpointError):
+                        raise
+                    except Exception as exc:  # noqa: BLE001
+                        stage_failed("trigger", exc)
+                    else:
+                        stage_status.setdefault("trigger", "ok")
+                        for report in reports:
+                            if report.report_id in done:
+                                outcomes.append(
+                                    ckpt.outcome_from_dict(
+                                        done[report.report_id], report
+                                    )
+                                )
+                                continue
+                            if budget.exceeded():
+                                # Deadline: remaining reports stay
+                                # UNKNOWN; the shard log keeps what ran.
+                                stage_status["trigger"] = "degraded"
+                                break
+                            maybe_stall("trigger_report")
+                            # Each report's re-runs are isolated: one
+                            # hung or crashed trigger execution is that
+                            # report's outcome, not the pipeline's.
+                            try:
+                                outcome = module.validate_report(
+                                    report, placement
+                                )
+                            except (PipelineInterrupted, CheckpointError):
+                                raise
+                            except Exception as exc:  # noqa: BLE001
+                                stage_failed("trigger", exc)
+                                continue
+                            if outcome is None:
+                                continue
+                            outcomes.append(outcome)
+                            if trigger_log is not None:
+                                trigger_log.append(
+                                    ckpt.outcome_to_dict(outcome)
+                                )
+                timings["trigger_seconds"] = time.perf_counter() - started
+                if store is not None and stage_status.get("trigger") == "ok":
+                    store.seal_stage(
+                        "trigger",
+                        {
+                            "reports": len(outcomes),
+                            "seconds": timings["trigger_seconds"],
+                        },
+                    )
+
+        for stage in governor.deadline_stages:
+            # A deadline overrun degrades the stage even when its loop
+            # happened to finish; "failed" stays the stronger signal.
+            if stage_status.get(stage) in (None, "ok"):
+                stage_status[stage] = "degraded"
 
         return PipelineResult(
             workload=self.workload,
@@ -357,4 +729,8 @@ class DCatch:
             oom=oom,
             stage_failures=stage_failures,
             errors=errors,
+            stage_status=stage_status,
+            degradation=list(governor.degradations),
+            stages_skipped=list(store.stages_skipped) if store else [],
+            checkpoint_dir=store.directory if store else None,
         )

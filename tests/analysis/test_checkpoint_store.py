@@ -1,0 +1,140 @@
+"""The checkpoint store: manifest lifecycle, CRC checks, shard logs."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    ShardLog,
+    _read_shard_lines,
+)
+from repro.errors import CheckpointError
+
+
+def _store(tmp_path, **kwargs):
+    return CheckpointStore(
+        directory=str(tmp_path / "ck"),
+        benchmark="ZK-1144",
+        config_fp="abcd1234abcd1234",
+        **kwargs,
+    )
+
+
+def test_fresh_store_writes_manifest(tmp_path):
+    store = _store(tmp_path)
+    manifest = json.load(open(os.path.join(store.directory, "manifest.json")))
+    assert manifest["format"] == "repro-checkpoint"
+    assert manifest["version"] == CHECKPOINT_VERSION
+    assert manifest["benchmark"] == "ZK-1144"
+    assert manifest["stages"] == {}
+
+
+def test_seal_and_load_stage_roundtrip(tmp_path):
+    store = _store(tmp_path)
+    store.seal_stage("hb", {"edges": [1, 2, 3]})
+    assert store.stage_completed("hb")
+    assert not store.stage_completed("reach")
+    assert store.load_stage("hb") == {"edges": [1, 2, 3]}
+
+
+def test_resume_missing_directory_raises(tmp_path):
+    with pytest.raises(CheckpointError, match="not a checkpoint directory"):
+        CheckpointStore(
+            directory=str(tmp_path / "nope"),
+            benchmark="ZK-1144",
+            config_fp="x",
+            resume=True,
+        )
+
+
+def test_resume_missing_manifest_raises(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(CheckpointError, match="no checkpoint manifest"):
+        CheckpointStore(
+            directory=str(empty), benchmark="ZK-1144", config_fp="x", resume=True
+        )
+
+
+def test_resume_stale_version_raises(tmp_path):
+    store = _store(tmp_path)
+    path = os.path.join(store.directory, "manifest.json")
+    manifest = json.load(open(path))
+    manifest["version"] = 99
+    json.dump(manifest, open(path, "w"))
+    with pytest.raises(CheckpointError, match="stale checkpoint schema"):
+        _store(tmp_path, resume=True)
+
+
+def test_resume_wrong_benchmark_raises(tmp_path):
+    _store(tmp_path)
+    with pytest.raises(CheckpointError, match="benchmark"):
+        CheckpointStore(
+            directory=str(tmp_path / "ck"),
+            benchmark="MR-3274",
+            config_fp="abcd1234abcd1234",
+            resume=True,
+        )
+
+
+def test_resume_config_fingerprint_mismatch_raises(tmp_path):
+    _store(tmp_path)
+    with pytest.raises(CheckpointError, match="fingerprint mismatch"):
+        CheckpointStore(
+            directory=str(tmp_path / "ck"),
+            benchmark="ZK-1144",
+            config_fp="ffffffffffffffff",
+            resume=True,
+        )
+
+
+def test_damaged_stage_payload_fails_crc(tmp_path):
+    store = _store(tmp_path)
+    store.seal_stage("hb", {"edges": []})
+    with open(os.path.join(store.directory, "hb.json"), "ab") as fh:
+        fh.write(b"garbage")
+    with pytest.raises(CheckpointError, match="CRC"):
+        store.load_stage("hb")
+
+
+def test_load_incomplete_stage_raises(tmp_path):
+    store = _store(tmp_path)
+    with pytest.raises(CheckpointError, match="not completed"):
+        store.load_stage("detect")
+
+
+def test_trace_fingerprint_mismatch_raises(tmp_path):
+    store = _store(tmp_path)
+    store.set_trace_fingerprint("00000001")
+    store.check_trace_fingerprint("00000001")  # matching: fine
+    with pytest.raises(CheckpointError, match="trace fingerprint"):
+        store.check_trace_fingerprint("deadbeef")
+
+
+def test_shard_log_roundtrip_and_torn_tail(tmp_path):
+    path = str(tmp_path / "shards.jsonl")
+    log = ShardLog(path)
+    log.append({"index": 0, "pairs": [[1, 2]]})
+    log.append({"index": 1, "pairs": []})
+    log.close()
+    # a SIGKILL mid-append leaves a torn tail: must be dropped silently
+    with open(path, "ab") as fh:
+        fh.write(b"R 000000ff 00000000 {\"torn")
+    entries = _read_shard_lines(path)
+    assert [e["index"] for e in entries] == [0, 1]
+
+
+def test_shard_log_missing_file_is_empty(tmp_path):
+    assert _read_shard_lines(str(tmp_path / "absent.jsonl")) == []
+
+
+def test_shard_log_registered_incomplete_in_manifest(tmp_path):
+    store = _store(tmp_path)
+    store.shard_log("detect").append({"index": 0})
+    store.seal()
+    assert not store.stage_completed("detect")
+    resumed = _store(tmp_path, resume=True)
+    assert [e["index"] for e in resumed.load_shards("detect")] == [0]

@@ -8,7 +8,7 @@ import pytest
 from repro import obs
 from repro.detect import detect_races
 from repro.detect.chunked import detect_races_chunked
-from repro.detect.parallel import resolve_workers
+from repro.detect.parallel import AUTO_SERIAL_THRESHOLD, resolve_workers
 from repro.errors import TraceAnalysisOOM
 from repro.runtime import Cluster
 from repro.trace import FullScope, Tracer
@@ -48,6 +48,35 @@ def test_resolve_workers_normalizes():
     assert resolve_workers(3) == 3
     assert resolve_workers(-2) == 1
     assert resolve_workers(0) == (os.cpu_count() or 1)
+
+
+def test_resolve_workers_auto_by_trace_size():
+    import os
+
+    assert resolve_workers("auto", records=10) == 1
+    assert resolve_workers("auto", records=AUTO_SERIAL_THRESHOLD - 1) == 1
+    assert resolve_workers("auto", records=AUTO_SERIAL_THRESHOLD) == (
+        os.cpu_count() or 1
+    )
+    # "auto" with no record count stays conservative
+    assert resolve_workers("auto") == 1
+    with pytest.raises(ValueError):
+        resolve_workers("fast")
+
+
+def test_detect_auto_records_decision_and_matches_serial():
+    trace = _racy_trace()
+    serial = detect_races(trace)
+    registry = obs.MetricsRegistry(name="auto")
+    with obs.use_registry(registry):
+        auto = detect_races(trace, workers="auto")
+    # tiny trace: auto must choose the serial path (the PR-3 lesson:
+    # pool startup dwarfs enumeration below the threshold)
+    assert auto.workers == 1
+    assert auto.auto_decision == "serial"
+    assert _seq_pairs(auto) == _seq_pairs(serial)
+    snapshot = registry.snapshot()["detect_auto_workers_total"]
+    assert snapshot["series"]["decision=serial"]["value"] == 1.0
 
 
 def test_sharded_detection_matches_serial():

@@ -1,0 +1,235 @@
+"""Checkpoint/resume and resource-governed degradation, end to end."""
+
+import json
+
+import pytest
+
+from repro.detect.export import dump_reports
+from repro.errors import CheckpointError
+from repro.hb.graph import HBGraph
+from repro.pipeline import DCatch, PipelineConfig
+from repro.systems import workload_by_id
+from repro.trace.scope import FullScope
+from repro.trace.tracer import Tracer
+
+
+def _reports_json(result):
+    return dump_reports(result.reports)
+
+
+def test_resume_skips_all_stages_and_reports_are_byte_identical(tmp_path):
+    ckdir = str(tmp_path / "ck")
+    plain = DCatch(workload_by_id("CA-1011"), PipelineConfig()).run()
+
+    first = DCatch(
+        workload_by_id("CA-1011"), PipelineConfig(checkpoint_dir=ckdir)
+    ).run()
+    assert _reports_json(first) == _reports_json(plain)
+    assert all(status == "ok" for status in first.stage_status.values())
+
+    resumed = DCatch(
+        workload_by_id("CA-1011"),
+        PipelineConfig(checkpoint_dir=ckdir, resume=True),
+    ).run()
+    assert _reports_json(resumed) == _reports_json(plain)
+    assert set(resumed.stages_skipped) == {
+        "trace",
+        "hb",
+        "reach",
+        "detect",
+        "prune",
+        "trigger",
+    }
+    assert all(
+        status == "skipped" for status in resumed.stage_status.values()
+    )
+    skipped = resumed.metrics["checkpoint_stages_skipped_total"]
+    assert skipped["value"] >= 6
+    # restored trigger outcomes carry their verdicts
+    assert resumed.verdict_counts() == plain.verdict_counts()
+    assert [o.verdict for o in resumed.outcomes] == [
+        o.verdict for o in first.outcomes
+    ]
+
+
+def test_resume_after_partial_detect_merges_checkpointed_shards(tmp_path):
+    """Pre-seed the detect shard log with a prefix of the real results:
+    resume must merge them without re-enumerating, byte-identically."""
+    from repro.analysis.checkpoint import CheckpointStore, config_fingerprint
+
+    ckdir = str(tmp_path / "ck")
+    config = PipelineConfig(checkpoint_dir=ckdir)
+    full = DCatch(workload_by_id("ZK-1144"), config).run()
+
+    # build a second checkpoint with trace+hb+reach sealed and only the
+    # first detect shard present (simulating a crash after one shard)
+    crashed = str(tmp_path / "crashed")
+    store = CheckpointStore(
+        directory=crashed,
+        benchmark="ZK-1144",
+        config_fp=config_fingerprint("ZK-1144", config),
+    )
+    old = CheckpointStore(
+        directory=ckdir,
+        benchmark="ZK-1144",
+        config_fp=config_fingerprint("ZK-1144", config),
+        resume=True,
+    )
+    for stage in ("trace", "hb", "reach"):
+        store.seal_stage(stage, old.load_stage(stage))
+    store.set_trace_fingerprint(old.manifest["trace_fingerprint"])
+    shards = old.load_shards("detect")
+    assert shards, "full run should have checkpointed detect shards"
+    store.shard_log("detect").append(shards[0])
+    store.seal()
+
+    config2 = PipelineConfig(checkpoint_dir=crashed, resume=True)
+    resumed = DCatch(workload_by_id("ZK-1144"), config2).run()
+    assert _reports_json(resumed) == _reports_json(full)
+    assert set(resumed.stages_skipped) == {"trace", "hb", "reach"}
+    restored = resumed.metrics["checkpoint_shards_resumed_total"]
+    assert restored["value"] >= 1
+
+
+def test_trace_fingerprint_is_append_order_independent():
+    """HB-4539's live trace appends records out of seq order; the
+    restored (seq-sorted) trace must still match its fingerprint."""
+    from repro.analysis import checkpoint as ckpt
+
+    dcatch = DCatch(workload_by_id("HB-4539"), PipelineConfig(trigger=False))
+    base = dcatch.run_base()
+    monitored, trace = dcatch.run_traced()
+    payload = json.loads(
+        json.dumps(ckpt.trace_stage_payload(trace, base, monitored))
+    )
+    restored, _, _ = ckpt.restore_trace_stage(payload)
+    assert ckpt.trace_fingerprint(restored) == ckpt.trace_fingerprint(trace)
+
+
+def test_resume_without_checkpoint_dir_raises():
+    config = PipelineConfig(resume=True)
+    with pytest.raises(CheckpointError, match="checkpoint directory"):
+        DCatch(workload_by_id("ZK-1144"), config).run()
+
+
+def test_checkpoint_overhead_files_on_disk(tmp_path):
+    ckdir = tmp_path / "ck"
+    DCatch(
+        workload_by_id("ZK-1144"),
+        PipelineConfig(checkpoint_dir=str(ckdir), trigger=False),
+    ).run()
+    manifest = json.load(open(ckdir / "manifest.json"))
+    assert manifest["format"] == "repro-checkpoint"
+    for stage in ("trace", "hb", "reach", "detect"):
+        assert manifest["stages"][stage]["completed"] is True
+        # CRC recorded for every sealed payload
+        assert len(manifest["stages"][stage]["crc"]) == 8
+    assert (ckdir / "detect-shards.jsonl").exists()
+
+
+def _uncompressed_budget(bug_id):
+    """A byte budget the chain backend fits but the bit matrix does not
+    (the Table 8 blow-up, reproduced deliberately)."""
+    workload = workload_by_id(bug_id)
+    cluster = workload.cluster(0)
+    tracer = Tracer(scope=FullScope()).bind(cluster)
+    cluster.run()
+    trace = tracer.trace
+    n = len(trace.records)
+    chain = HBGraph(
+        trace, memory_budget=10**12, compress_mem=False, reach_backend="chain"
+    )
+    chain_bytes = chain.reach_stats()["bytes"]
+    bitset_bytes = (n * n) // 8
+    assert chain_bytes < bitset_bytes
+    return (chain_bytes + bitset_bytes) // 2
+
+
+def test_bitset_oom_degrades_to_chain_and_completes():
+    """The ladder's first rung: a bitset OOM retries with the chain
+    backend instead of abandoning analysis."""
+    budget = _uncompressed_budget("ZK-1270")
+    config = PipelineConfig(
+        scope="full",
+        compress_mem=False,
+        memory_budget=budget,
+        monitored_seed=0,
+        trigger=False,
+        prune=False,
+    )
+    result = DCatch(workload_by_id("ZK-1270"), config).run()
+    assert result.oom is None
+    assert result.detection is not None
+    assert result.degradation == ["reach_chain"]
+    assert result.degraded
+    assert result.stage_status["reach"] == "degraded"
+    assert "reach_chain" in result.summary()
+    series = result.metrics["governor_degradations_total"]["series"]
+    assert "rung=reach_chain,stage=reach" in series
+    # the surviving analysis matches an unconstrained chain run
+    reference = DCatch(
+        workload_by_id("ZK-1270"),
+        PipelineConfig(
+            scope="full",
+            compress_mem=False,
+            reach_backend="chain",
+            monitored_seed=0,
+            trigger=False,
+            prune=False,
+        ),
+    ).run()
+    assert len(result.detection.candidates) == len(
+        reference.detection.candidates
+    )
+
+
+def test_whole_ladder_exhausted_still_reports_oom():
+    """When even the chain backend cannot fit, the stage is degraded and
+    the OOM is recorded — never raised."""
+    config = PipelineConfig(trigger=False, scope="full", memory_budget=1)
+    result = DCatch(workload_by_id("ZK-1270"), config).run()
+    assert result.oom is not None
+    assert result.detection is None
+    assert "reach_chain" in result.degradation
+    assert "abandoned" in result.degradation
+    assert result.stage_failures.get("analysis") == 1
+    assert "OUT OF MEMORY" in result.summary()
+
+
+def test_rss_pressure_engages_detect_rungs():
+    """An absurd RSS budget trips the detect_serial and truncate_pairs
+    rungs; the pipeline still completes."""
+    config = PipelineConfig(
+        trigger=False, detect_workers=2, memory_budget_mb=1
+    )
+    result = DCatch(workload_by_id("ZK-1144"), config).run()
+    assert result.oom is None
+    assert result.detection is not None
+    assert "detect_serial" in result.degradation
+    assert "truncate_pairs" in result.degradation
+    assert result.detection.workers == 1  # the pool was shed
+    assert result.degraded
+    series = result.metrics["governor_degradations_total"]["series"]
+    assert "rung=detect_serial,stage=detect" in series
+    assert "rung=truncate_pairs,stage=detect" in series
+    assert result.metrics["governor_rss_mb"]["value"] > 0
+
+
+def test_stage_deadline_marks_trigger_degraded():
+    """A zero deadline lets no trigger report run; outcomes stay empty
+    and the stage is degraded, not wedged."""
+    config = PipelineConfig(max_stage_seconds=0.0)
+    result = DCatch(workload_by_id("ZK-1144"), config).run()
+    assert result.stage_status.get("trigger") == "degraded"
+    assert result.outcomes == []
+    series = result.metrics["governor_deadline_exceeded_total"]["series"]
+    assert "stage=trigger" in series
+
+
+def test_deadline_detect_stops_early():
+    config = PipelineConfig(max_stage_seconds=0.0, trigger=False, prune=False)
+    result = DCatch(workload_by_id("ZK-1144"), config).run()
+    assert result.detection is not None
+    assert result.detection.stopped_early
+    assert result.stage_status.get("detect") == "degraded"
+    assert result.degraded

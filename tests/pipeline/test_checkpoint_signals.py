@@ -1,0 +1,154 @@
+"""Crash and signal semantics of the checkpointed pipeline, exercised
+through real subprocesses: SIGINT seals the checkpoint and exits 130;
+SIGKILL mid-stage leaves a resumable directory; ``--resume`` reproduces
+the uninterrupted run byte for byte."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO, "src")
+BUG = "CA-1011"
+
+
+def _env(stall=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("DCATCH_STALL", None)
+    if stall:
+        env["DCATCH_STALL"] = stall
+    return env
+
+
+def _run_cli(*args, stall=None, wait=True):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "run", BUG, *args],
+        env=_env(stall),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    if not wait:
+        return proc
+    out, err = proc.communicate(timeout=120)
+    return proc.returncode, out, err
+
+
+def _wait_for(predicate, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def _manifest(ckdir):
+    try:
+        with open(os.path.join(ckdir, "manifest.json")) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def _stage_completed(ckdir, stage):
+    manifest = _manifest(ckdir)
+    if manifest is None:
+        return False
+    return manifest["stages"].get(stage, {}).get("completed", False)
+
+
+@pytest.fixture(scope="module")
+def clean_reports(tmp_path_factory):
+    """The uninterrupted run's saved reports: the byte-identity oracle."""
+    path = str(tmp_path_factory.mktemp("oracle") / "reports.json")
+    code, out, err = _run_cli("--save-reports", path)
+    assert code == 0, err
+    with open(path) as fh:
+        return fh.read()
+
+
+def test_sigint_during_hb_build_seals_and_resumes(tmp_path, clean_reports):
+    ckdir = str(tmp_path / "ck")
+    proc = _run_cli(
+        "--checkpoint-dir", ckdir, stall="hb_build:60", wait=False
+    )
+    try:
+        # the stall point sits between the trace seal and HB construction
+        assert _wait_for(lambda: _stage_completed(ckdir, "trace"))
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == 130
+    assert "interrupted" in err
+    assert "--resume" in err  # the hint names the resume flag
+
+    saved = str(tmp_path / "reports.json")
+    code, out, err = _run_cli(
+        "--checkpoint-dir", ckdir, "--resume", "--save-reports", saved
+    )
+    assert code == 0, err
+    assert "resumed: skipped trace" in out
+    assert open(saved).read() == clean_reports
+
+
+def test_sigkill_mid_detect_resumes_byte_identical(tmp_path, clean_reports):
+    ckdir = str(tmp_path / "ck")
+    proc = _run_cli(
+        "--checkpoint-dir", ckdir, stall="detect_shard:60", wait=False
+    )
+    try:
+        # first detect shard lands in the WAL, then the run stalls
+        shards = os.path.join(ckdir, "detect-shards.jsonl")
+        assert _wait_for(
+            lambda: os.path.exists(shards) and os.path.getsize(shards) > 0
+        )
+        proc.kill()  # SIGKILL: no handler, no chance to seal
+        proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    manifest = _manifest(ckdir)
+    for stage in ("trace", "hb", "reach"):
+        assert manifest["stages"][stage]["completed"] is True
+    assert not manifest["stages"].get("detect", {}).get("completed", False)
+
+    saved = str(tmp_path / "reports.json")
+    code, out, err = _run_cli(
+        "--checkpoint-dir", ckdir, "--resume", "--save-reports", saved
+    )
+    assert code == 0, err
+    assert "resumed: skipped trace, hb, reach" in out
+    assert open(saved).read() == clean_reports
+
+
+def test_sigint_during_trigger_resumes_verdicts(tmp_path, clean_reports):
+    ckdir = str(tmp_path / "ck")
+    proc = _run_cli(
+        "--checkpoint-dir", ckdir, stall="trigger_report:60", wait=False
+    )
+    try:
+        assert _wait_for(lambda: _stage_completed(ckdir, "prune"))
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == 130
+
+    saved = str(tmp_path / "reports.json")
+    code, out, err = _run_cli(
+        "--checkpoint-dir", ckdir, "--resume", "--save-reports", saved
+    )
+    assert code == 0, err
+    assert "resumed: skipped" in out
+    assert open(saved).read() == clean_reports

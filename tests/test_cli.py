@@ -253,3 +253,114 @@ def test_run_trigger_max_wait_flag_parses():
     assert args.trigger_max_wait == 400
     args = parser.parse_args(["run", "ZK-1144"])
     assert args.trigger_max_wait is None
+
+
+def test_run_checkpoint_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(
+        [
+            "run",
+            "ZK-1144",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--resume",
+            "--max-stage-seconds",
+            "1.5",
+            "--memory-budget-mb",
+            "64",
+        ]
+    )
+    assert args.checkpoint_dir == "/tmp/ck"
+    assert args.resume is True
+    assert args.max_stage_seconds == 1.5
+    assert args.memory_budget_mb == 64
+    args = parser.parse_args(["run", "ZK-1144"])
+    assert args.checkpoint_dir is None
+    assert args.resume is False
+
+
+def test_workers_auto_parses():
+    parser = build_parser()
+    args = parser.parse_args(["run", "ZK-1144", "--workers", "auto"])
+    assert args.workers == "auto"
+    args = parser.parse_args(["run", "ZK-1144", "--workers", "3"])
+    assert args.workers == 3
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "ZK-1144", "--workers", "fast"])
+
+
+def test_resume_missing_checkpoint_dir_exits_2(tmp_path, capsys):
+    missing = str(tmp_path / "nope")
+    code = main(
+        ["run", "ZK-1144", "--checkpoint-dir", missing, "--resume"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "not a checkpoint directory" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_resume_stale_schema_version_exits_2(tmp_path, capsys):
+    import json as _json
+
+    ckdir = tmp_path / "ck"
+    assert main(
+        ["run", "ZK-1144", "--no-trigger", "--checkpoint-dir", str(ckdir)]
+    ) == 0
+    capsys.readouterr()
+    path = ckdir / "manifest.json"
+    manifest = _json.loads(path.read_text())
+    manifest["version"] = 99
+    path.write_text(_json.dumps(manifest))
+    code = main(
+        ["run", "ZK-1144", "--checkpoint-dir", str(ckdir), "--resume"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "stale checkpoint schema version 99" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_resume_config_fingerprint_mismatch_exits_2(tmp_path, capsys):
+    ckdir = tmp_path / "ck"
+    assert main(
+        ["run", "ZK-1144", "--no-trigger", "--checkpoint-dir", str(ckdir)]
+    ) == 0
+    capsys.readouterr()
+    # a different scope changes the analysis: the checkpoint must refuse
+    code = main(
+        [
+            "run",
+            "ZK-1144",
+            "--no-trigger",
+            "--full-scope",
+            "--checkpoint-dir",
+            str(ckdir),
+            "--resume",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "fingerprint mismatch" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_run_resume_round_trip_via_cli(tmp_path, capsys):
+    ckdir = str(tmp_path / "ck")
+    assert main(
+        ["run", "ZK-1144", "--no-trigger", "--checkpoint-dir", ckdir]
+    ) == 0
+    first = capsys.readouterr().out
+    assert main(
+        [
+            "run",
+            "ZK-1144",
+            "--no-trigger",
+            "--checkpoint-dir",
+            ckdir,
+            "--resume",
+        ]
+    ) == 0
+    second = capsys.readouterr().out
+    assert "resumed: skipped trace, hb, reach, detect" in second
+    assert "DCatch reports" in first and "DCatch reports" in second
