@@ -82,7 +82,13 @@ def config_fingerprint(benchmark: str, config: "object") -> str:
         "max_pairs_per_location": getattr(
             config, "max_pairs_per_location", 200_000
         ),
-        "fault_plan": config.fault_plan is not None,
+        # The plan's *content*, not just its presence: resuming after an
+        # edited fault plan must invalidate the checkpointed trace.
+        "fault_plan": (
+            config.fault_plan.describe()
+            if config.fault_plan is not None
+            else None
+        ),
         "trace_schema": TRACE_SCHEMA_VERSION,
     }
     blob = json.dumps(fields, sort_keys=True).encode()
@@ -108,7 +114,14 @@ class ShardLog:
 
     def __init__(self, path: str) -> None:
         self.path = path
+        # A SIGKILL mid-append leaves a torn partial line at the tail.
+        # Truncate to the last intact framed line before appending:
+        # otherwise the first resumed entry concatenates with the torn
+        # fragment into one malformed line, and the *next* crash/resume
+        # cycle discards every entry after it.
+        _, valid_bytes = _scan_shard_file(path)
         self._fh = open(path, "ab")
+        self._fh.truncate(valid_bytes)
 
     def append(self, entry: Dict[str, Any]) -> None:
         from repro.trace.wal import encode_record_line
@@ -124,35 +137,48 @@ class ShardLog:
             self._fh.close()
 
 
-def _read_shard_lines(path: str) -> List[Dict[str, Any]]:
-    """Every intact framed line; a torn/damaged tail is dropped, torn
-    or corrupt *interior* lines stop the scan (everything after them
-    might be misframed)."""
+def _scan_shard_file(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Every intact framed line plus the byte length of the valid
+    prefix (just past the last intact, newline-terminated line).  A
+    torn/damaged tail is dropped; torn or corrupt *interior* lines stop
+    the scan (everything after them might be misframed)."""
     entries: List[Dict[str, Any]] = []
+    valid_bytes = 0
     try:
         with open(path, "rb") as fh:
             data = fh.read()
     except FileNotFoundError:
-        return entries
-    for line in data.split(b"\n"):
-        if not line:
-            continue
-        parts = line.split(b" ", 3)
-        if len(parts) != 4 or parts[0] != b"R":
-            break
-        try:
-            length = int(parts[1], 16)
-            crc = int(parts[2], 16)
-        except ValueError:
-            break
-        payload = parts[3]
-        if len(payload) != length or _crc(payload) != crc:
-            break
-        try:
-            entries.append(json.loads(payload.decode()))
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            break
-    return entries
+        return entries, 0
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline == -1:
+            break  # unterminated tail: the append was cut mid-line
+        line = data[offset:newline]
+        if line:
+            parts = line.split(b" ", 3)
+            if len(parts) != 4 or parts[0] != b"R":
+                break
+            try:
+                length = int(parts[1], 16)
+                crc = int(parts[2], 16)
+            except ValueError:
+                break
+            payload = parts[3]
+            if len(payload) != length or _crc(payload) != crc:
+                break
+            try:
+                entry = json.loads(payload.decode())
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                break
+            entries.append(entry)
+        offset = newline + 1
+        valid_bytes = offset
+    return entries, valid_bytes
+
+
+def _read_shard_lines(path: str) -> List[Dict[str, Any]]:
+    return _scan_shard_file(path)[0]
 
 
 @dataclass
@@ -175,6 +201,7 @@ class CheckpointStore:
             self._validate_manifest()
         else:
             os.makedirs(self.directory, exist_ok=True)
+            self._clear_previous_run()
             self.manifest = {
                 "format": CHECKPOINT_FORMAT,
                 "version": CHECKPOINT_VERSION,
@@ -184,6 +211,24 @@ class CheckpointStore:
                 "stages": {},
             }
             self._write_manifest()
+
+    def _clear_previous_run(self) -> None:
+        """Delete stage payloads and shard files left by an earlier run.
+
+        A fresh (non-resume) run owns the directory.  ShardLog appends
+        and ``load_shards`` reads whatever file is present, so without
+        this sweep a reused directory — exactly what "re-run without
+        --resume to rebuild" advises — would silently merge shard
+        results computed from a different trace or config into this
+        run's candidates."""
+        names = [f"{stage}.json" for stage in STAGES]
+        names += [f"{name}.tmp" for name in names]
+        names += list(_INCREMENTAL_FILES.values())
+        for name in names:
+            try:
+                os.remove(os.path.join(self.directory, name))
+            except FileNotFoundError:
+                pass
 
     # -- manifest -------------------------------------------------------------
 

@@ -566,7 +566,12 @@ class DCatch:
                         completed_shards=completed_shards,
                         should_stop=budget.exceeded,
                     )
-                    if store is not None:
+                    if store is not None and not detection.stopped_early:
+                        # A deadline-truncated detection stays unsealed
+                        # (completed: false): --resume then re-enters the
+                        # stage and enumerates the remaining locations
+                        # from the shard log, instead of skipping a
+                        # permanently partial result.
                         store.seal_stage(
                             "detect", ckpt.detection_payload(detection)
                         )

@@ -127,8 +127,62 @@ def test_shard_log_roundtrip_and_torn_tail(tmp_path):
     assert [e["index"] for e in entries] == [0, 1]
 
 
+def test_shard_log_reopen_truncates_torn_tail(tmp_path):
+    """Reopening for append after a SIGKILL must drop the torn tail:
+    otherwise the next entry concatenates with the partial line and a
+    second crash/resume cycle discards everything after it."""
+    path = str(tmp_path / "shards.jsonl")
+    log = ShardLog(path)
+    log.append({"index": 0})
+    log.close()
+    with open(path, "ab") as fh:
+        fh.write(b'R 000000ff 00000000 {"torn')
+    log = ShardLog(path)
+    log.append({"index": 1})
+    log.close()
+    assert [e["index"] for e in _read_shard_lines(path)] == [0, 1]
+
+
 def test_shard_log_missing_file_is_empty(tmp_path):
     assert _read_shard_lines(str(tmp_path / "absent.jsonl")) == []
+
+
+def test_fresh_store_clears_stale_stage_and_shard_files(tmp_path):
+    """A non-resume run reusing a checkpoint directory owns it: stage
+    payloads and shard files from the previous run must not leak into
+    (or be merged with) the new run's results."""
+    store = _store(tmp_path)
+    store.seal_stage("hb", {"edges": [1, 2]})
+    store.shard_log("detect").append({"index": 7})
+    store.shard_log("trigger").append({"report_id": 3})
+    store.seal()
+
+    fresh = _store(tmp_path)  # same directory, resume=False
+    assert not fresh.stage_completed("hb")
+    assert fresh.load_shards("detect") == []
+    assert fresh.load_shards("trigger") == []
+    assert not os.path.exists(os.path.join(fresh.directory, "hb.json"))
+
+
+def test_config_fingerprint_tracks_fault_plan_content():
+    """Editing the fault plan's *contents* must invalidate a resume —
+    presence alone would silently reuse a trace from the old plan."""
+    from repro.analysis.checkpoint import config_fingerprint
+    from repro.pipeline import PipelineConfig
+    from repro.runtime.faults import FaultAction, FaultKind, FaultPlan
+
+    def fp(plan):
+        return config_fingerprint(
+            "ZK-1144", PipelineConfig(fault_plan=plan)
+        )
+
+    crash_a = FaultPlan([FaultAction(at=5, kind=FaultKind.CRASH, target="a")])
+    crash_b = FaultPlan([FaultAction(at=9, kind=FaultKind.CRASH, target="b")])
+    assert fp(crash_a) == fp(
+        FaultPlan([FaultAction(at=5, kind=FaultKind.CRASH, target="a")])
+    )
+    assert fp(crash_a) != fp(crash_b)
+    assert fp(crash_a) != fp(None)
 
 
 def test_shard_log_registered_incomplete_in_manifest(tmp_path):

@@ -233,3 +233,65 @@ def test_deadline_detect_stops_early():
     assert result.detection.stopped_early
     assert result.stage_status.get("detect") == "degraded"
     assert result.degraded
+
+
+def test_deadline_cut_detect_is_not_sealed_and_resume_completes(tmp_path):
+    """A detection truncated by the wall-clock deadline must not seal as
+    a completed stage: resuming with a fresh budget re-enters detection
+    and enumerates the remaining locations instead of skipping a
+    permanently partial result."""
+    import os
+
+    ckdir = str(tmp_path / "ck")
+    reference = DCatch(
+        workload_by_id("ZK-1144"), PipelineConfig(trigger=False, prune=False)
+    ).run()
+
+    cut = DCatch(
+        workload_by_id("ZK-1144"),
+        PipelineConfig(
+            max_stage_seconds=0.0,
+            trigger=False,
+            prune=False,
+            checkpoint_dir=ckdir,
+        ),
+    ).run()
+    assert cut.detection.stopped_early
+    manifest = json.load(open(os.path.join(ckdir, "manifest.json")))
+    assert not manifest["stages"].get("detect", {}).get("completed")
+
+    resumed = DCatch(
+        workload_by_id("ZK-1144"),
+        PipelineConfig(
+            trigger=False, prune=False, checkpoint_dir=ckdir, resume=True
+        ),
+    ).run()
+    assert not resumed.detection.stopped_early
+    assert "detect" not in resumed.stages_skipped
+    assert {"trace", "hb", "reach"} <= set(resumed.stages_skipped)
+    assert _reports_json(resumed) == _reports_json(reference)
+
+
+def test_fresh_run_ignores_stale_checkpoint_directory(tmp_path):
+    """Re-running *without* --resume in a used checkpoint directory —
+    exactly what the mismatch errors advise — must rebuild from scratch,
+    not merge shard results computed from a different trace/config."""
+    ckdir = str(tmp_path / "ck")
+    reference = DCatch(
+        workload_by_id("ZK-1144"),
+        PipelineConfig(trigger=False, checkpoint_dir=ckdir),
+    ).run()
+
+    # different benchmark, same directory: its shards reference seqs
+    # that do not exist in ZK-1144's trace
+    DCatch(
+        workload_by_id("CA-1011"),
+        PipelineConfig(trigger=False, checkpoint_dir=ckdir),
+    ).run()
+
+    again = DCatch(
+        workload_by_id("ZK-1144"),
+        PipelineConfig(trigger=False, checkpoint_dir=ckdir),
+    ).run()
+    assert again.stages_skipped == []
+    assert _reports_json(again) == _reports_json(reference)
