@@ -78,6 +78,7 @@ def config_fingerprint(benchmark: str, config: "object") -> str:
         "trigger_seeds": list(config.trigger_seeds),
         "trigger_max_wait": config.trigger_max_wait,
         "reach_backend": config.reach_backend,
+        "detect_mode": getattr(config, "detect_mode", "batch"),
         "compress_mem": getattr(config, "compress_mem", True),
         "max_pairs_per_location": getattr(
             config, "max_pairs_per_location", 200_000

@@ -17,6 +17,9 @@ Subcommands::
     dcatch run MR-3274 --checkpoint-dir ./ckpt --resume  # skip done stages
     dcatch profile minimr 3274      # per-stage span table + exports
     dcatch metrics ZK-1144          # metrics registry after one run
+    dcatch generate minimr --preset xl --out ./gen  # million-record WAL
+    dcatch stream ./gen/wal --ground-truth ./gen/ground_truth.json
+    dcatch run MR-3274 --detect-mode streaming  # bounded-memory detection
 
 Unknown benchmark/system/workload names — and malformed/corrupt trace
 files — exit with status 2 and a one-line error on stderr instead of a
@@ -93,6 +96,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         resume=args.resume,
         max_stage_seconds=args.max_stage_seconds,
         memory_budget_mb=args.memory_budget_mb,
+        detect_mode=args.detect_mode,
+        stream_window=args.stream_window,
     )
     result = DCatch(workload, config).run()
     print(result.summary())
@@ -299,6 +304,95 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workload import generate_workload
+
+    generated = generate_workload(
+        args.system,
+        args.preset,
+        args.seed,
+        args.out,
+        segment_records=args.segment_records,
+    )
+    spec = generated.spec
+    print(
+        f"generated {generated.system} preset={generated.preset} "
+        f"seed={generated.seed}"
+    )
+    print(
+        f"  scenario: {spec.workers} workers x {spec.phases} phases "
+        f"(chain={spec.chain_len}, racers={spec.racers})"
+    )
+    print(
+        f"  records:  {generated.records} "
+        f"({generated.hb_records} HB, {generated.mem_records} memory) "
+        f"across {generated.streams} streams"
+    )
+    print(f"  planted:  {len(generated.planted_races)} races")
+    print(f"  wal:      {generated.wal_dir}")
+    print(f"  truth:    {generated.ground_truth_path}")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.detect.streaming import detect_races_streaming
+
+    result = detect_races_streaming(
+        wal_dir=args.wal_dir,
+        window=args.window,
+        max_seconds=args.max_stage_seconds,
+        memory_budget_mb=args.memory_budget_mb,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
+    print(
+        f"streamed {result.records_consumed} records in "
+        f"{result.analysis_seconds:.2f}s "
+        f"({result.records_per_second:,.0f} records/s)"
+    )
+    print(
+        f"  candidates: {len(result.candidates)} "
+        f"(pairs examined: {result.pairs_examined})"
+    )
+    print(
+        f"  memory:     {result.evictions} evictions, "
+        f"{result.compactions} compactions, "
+        f"active high-water {result.active_high_water}, "
+        f"RSS high-water {result.rss_high_water_mb:.0f} MB"
+    )
+    print(f"  confidence: {result.confidence}")
+    if result.stopped_early:
+        print("  stopped early (budget); candidate list is a prefix")
+    if result.damage:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(result.damage.items()))
+        print(f"  damage:     {parts}")
+
+    if args.ground_truth is None:
+        return 0
+
+    from repro.workload import load_ground_truth
+
+    truth = load_ground_truth(args.ground_truth)
+    planted = {
+        frozenset((race["first_seq"], race["second_seq"]))
+        for race in truth["planted_races"]
+    }
+    found = {frozenset(pair) for pair in result.candidate_seq_pairs()}
+    missed = planted - found
+    extra = found - planted
+    recall = 100.0 if not planted else 100.0 * (1 - len(missed) / len(planted))
+    print(
+        f"  ground truth: {len(planted) - len(missed)}/{len(planted)} "
+        f"planted races found ({recall:.1f}% recall), "
+        f"{len(extra)} unplanted candidates"
+    )
+    if missed:
+        sample = sorted(tuple(sorted(pair)) for pair in missed)[:5]
+        print(f"  missed: {sample}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_analysis_flags(parser: argparse.ArgumentParser) -> None:
     """Trace-analysis knobs shared by ``run``/``profile``/``metrics``."""
     parser.add_argument(
@@ -405,6 +499,23 @@ def build_parser() -> argparse.ArgumentParser:
         dest="memory_budget_mb",
         help="overall memory budget; under pressure the pipeline sheds "
         "work along the degradation ladder instead of dying",
+    )
+    run.add_argument(
+        "--detect-mode",
+        choices=("batch", "streaming"),
+        default="batch",
+        dest="detect_mode",
+        help="batch = whole-trace HB graph + closure (the paper); "
+        "streaming = single-pass bounded-memory detection",
+    )
+    run.add_argument(
+        "--stream-window",
+        type=int,
+        default=8192,
+        metavar="RECORDS",
+        dest="stream_window",
+        help="streaming mode: records between HB-frontier compaction "
+        "passes (memory knob; candidates are window-independent)",
     )
     _add_analysis_flags(run)
     run.set_defaults(fn=_cmd_run)
@@ -526,6 +637,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_analysis_flags(metrics)
     metrics.set_defaults(fn=_cmd_metrics)
+
+    generate = sub.add_parser(
+        "generate",
+        help="synthesize a large deterministic workload trace (WAL form)",
+    )
+    generate.add_argument(
+        "system",
+        choices=("minizk", "minica", "minimr", "minihb"),
+        help="which mini system's vocabulary to generate with",
+    )
+    generate.add_argument(
+        "--preset",
+        choices=("small", "medium", "xl"),
+        default="small",
+        help="scenario size (small ~500 records, medium ~200k, xl >1M)",
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="output directory (WAL segments under DIR/wal, "
+        "ground truth at DIR/ground_truth.json)",
+    )
+    generate.add_argument(
+        "--segment-records",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="segment_records",
+        help="records per WAL segment (default: preset's)",
+    )
+    generate.set_defaults(fn=_cmd_generate)
+
+    stream = sub.add_parser(
+        "stream",
+        help="single-pass streaming detection over a WAL directory",
+    )
+    stream.add_argument(
+        "wal_dir", help="WAL trace directory (e.g. from 'generate')"
+    )
+    stream.add_argument(
+        "--ground-truth",
+        default=None,
+        metavar="PATH",
+        dest="ground_truth",
+        help="generator manifest to score against; exit 1 if any "
+        "planted race is missed",
+    )
+    stream.add_argument(
+        "--window",
+        type=int,
+        default=8192,
+        metavar="RECORDS",
+        help="records between HB-frontier compaction passes",
+    )
+    stream.add_argument(
+        "--memory-budget-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        dest="memory_budget_mb",
+        help="force extra compactions when RSS nears this budget",
+    )
+    stream.add_argument(
+        "--max-stage-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        dest="max_stage_seconds",
+        help="stop the pass early after this much wall-clock time",
+    )
+    stream.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="save resumable stream offsets to this file",
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint instead of starting over",
+    )
+    stream.set_defaults(fn=_cmd_stream)
 
     return parser
 

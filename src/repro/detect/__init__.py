@@ -16,6 +16,11 @@ from repro.detect.export import (
 from repro.detect.lockset import LocksetIndex, LocksetSplit, split_by_lockset
 from repro.detect.races import Candidate, DetectionResult, detect_races
 from repro.detect.report import BugReport, ReportSet, Verdict
+from repro.detect.streaming import (
+    StreamingDetector,
+    StreamResult,
+    detect_races_streaming,
+)
 
 __all__ = [
     "Candidate",
@@ -30,6 +35,9 @@ __all__ = [
     "ChunkedDetectionResult",
     "chunk_trace",
     "detect_races_chunked",
+    "StreamingDetector",
+    "StreamResult",
+    "detect_races_streaming",
     "dump_reports",
     "load_reports",
     "save_reports",

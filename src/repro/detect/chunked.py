@@ -85,8 +85,8 @@ def chunk_trace(trace: Trace, chunk_size: int, overlap: int = 0) -> List[Trace]:
 
 def detect_races_chunked(
     trace: Trace,
-    chunk_size: int,
-    overlap: int = 0,
+    chunk_size: Optional[int] = None,
+    overlap: Optional[int] = None,
     model: HBModel = FULL_MODEL,
     memory_budget: int = DEFAULT_MEMORY_BUDGET,
     compress_mem: bool = True,
@@ -98,19 +98,33 @@ def detect_races_chunked(
 
     ``workers`` runs chunks in a process pool (``None``/``1`` = serial,
     ``0`` = one per CPU); the merged candidate set is identical for any
-    worker count.
+    worker count.  When ``chunk_size`` is omitted the geometry is
+    derived from the trace size and the resolved worker count
+    (``derive_chunk_geometry``) instead of a fixed fan-out; an explicit
+    ``chunk_size`` with no ``overlap`` gets the derived overlap
+    fraction.
     """
-    from repro.detect.parallel import resolve_workers, run_chunks
+    from repro.detect.parallel import (
+        derive_chunk_geometry,
+        resolve_workers,
+        run_chunks,
+    )
 
     started = time.perf_counter()
     seen: Dict[tuple, Candidate] = {}
     per_chunk: List[int] = []
     truncated: Dict[Location, None] = {}  # ordered, deduplicated
+    resolved_workers = resolve_workers(workers, records=len(trace.records))
+    if chunk_size is None:
+        chunk_size, derived_overlap = derive_chunk_geometry(
+            len(trace.records), resolved_workers
+        )
+        if overlap is None:
+            overlap = derived_overlap
+    elif overlap is None:
+        overlap = max(0, min(chunk_size - 1, chunk_size // 10))
     chunks = chunk_trace(trace, chunk_size, overlap)
-    effective_workers = min(
-        resolve_workers(workers, records=len(trace.records)),
-        max(1, len(chunks)),
-    )
+    effective_workers = min(resolved_workers, max(1, len(chunks)))
     with obs.span(
         "detect.chunked",
         chunks=len(chunks),

@@ -33,6 +33,21 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 #: chunked-parallel runs ~10x slower than serial (see BENCH_detect.json).
 AUTO_SERIAL_THRESHOLD = 50_000
 
+#: ``workers="auto"`` adds one worker per this many records, so a trace
+#: barely over the serial threshold gets 2 workers, not one per CPU.
+MIN_RECORDS_PER_WORKER = 25_000
+
+#: Derived chunk geometry bounds: a chunk never shrinks below
+#: ``MIN_CHUNK_RECORDS`` (slivers are pure per-chunk graph overhead) and
+#: never grows past ``MAX_CHUNK_RECORDS`` (the per-chunk HB graph +
+#: reachability is what bounds worker memory).
+MIN_CHUNK_RECORDS = 2_000
+MAX_CHUNK_RECORDS = 25_000
+
+#: Fraction of a chunk re-analyzed as backward overlap so cross-chunk
+#: pairs near the boundary are still seen.
+CHUNK_OVERLAP_FRACTION = 0.1
+
 
 def resolve_workers(
     workers: "Union[int, str, None]", records: Optional[int] = None
@@ -40,17 +55,41 @@ def resolve_workers(
     """Normalize a worker-count knob: ``None``/``1`` → serial, ``0`` →
     one worker per CPU, ``n`` → ``n``.  ``"auto"`` sizes from the trace:
     serial below ``AUTO_SERIAL_THRESHOLD`` records (where pool overhead
-    dominates), one worker per CPU above it."""
+    dominates), then one worker per ``MIN_RECORDS_PER_WORKER`` records
+    capped at the CPU count."""
     if workers is None:
         return 1
     if workers == "auto":
-        if records is not None and records < AUTO_SERIAL_THRESHOLD:
+        if records is None or records < AUTO_SERIAL_THRESHOLD:
             return 1
-        return os.cpu_count() or 1
+        return max(
+            1, min(os.cpu_count() or 1, records // MIN_RECORDS_PER_WORKER)
+        )
     workers = int(workers)
     if workers == 0:
         return os.cpu_count() or 1
     return max(1, workers)
+
+
+def derive_chunk_geometry(records: int, workers: int) -> Tuple[int, int]:
+    """Size chunked detection from the trace and the worker pool.
+
+    Returns ``(chunk_size, overlap)``.  The chunk count is the smallest
+    that (a) keeps every worker busy and (b) keeps each chunk under
+    ``MAX_CHUNK_RECORDS`` — but never so many that chunks shrink below
+    ``MIN_CHUNK_RECORDS`` (the old fixed fan-out put 9 slivers on a 2
+    worker pool for a 10k-record trace: pure IPC and per-chunk graph
+    overhead).  A tiny trace yields one whole-trace chunk."""
+    if records <= 0:
+        return 1, 0
+    workers = max(1, workers)
+    chunks = max(workers, -(-records // MAX_CHUNK_RECORDS))
+    chunks = min(chunks, max(1, records // MIN_CHUNK_RECORDS))
+    chunk_size = -(-records // chunks)
+    overlap = int(chunk_size * CHUNK_OVERLAP_FRACTION)
+    if overlap >= chunk_size:
+        overlap = chunk_size - 1
+    return chunk_size, max(0, overlap)
 
 
 def _mp_context():

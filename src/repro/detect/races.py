@@ -72,7 +72,9 @@ class DetectionResult:
     """Output of trace analysis: the raw candidate list plus statistics."""
 
     trace: Trace
-    graph: HBGraph
+    #: None when detection ran in streaming mode (no whole-trace graph
+    #: exists); stages that need reachability rebuild one on demand.
+    graph: Optional[HBGraph]
     candidates: List[Candidate]
     analysis_seconds: float
     pairs_examined: int

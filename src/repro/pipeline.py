@@ -63,9 +63,20 @@ class PipelineConfig:
     compress_mem: bool = True
     #: Worker processes for candidate enumeration: 1 = serial (the
     #: default), 0 = one per CPU, N = exactly N, ``"auto"`` = serial on
-    #: small traces where pool overhead dominates, one per CPU on large
-    #: ones.  Any value returns the same candidates.
+    #: small traces where pool overhead dominates, scaled by record
+    #: count (capped at the CPU count) on large ones.  Any value returns
+    #: the same candidates.
     detect_workers: "Union[int, str]" = 1
+    #: ``"batch"`` builds the whole-trace HB graph + reachability
+    #: closure before detection (the paper's offline algorithm);
+    #: ``"streaming"`` runs the single-pass bounded-memory detector
+    #: (``repro.detect.streaming``) — no graph, no closure, memory
+    #: tracks concurrency width instead of trace length.
+    detect_mode: str = "batch"
+    #: Streaming-mode compaction cadence (records between HB-frontier
+    #: eviction passes).  Memory/CPU knob only: the candidate set is
+    #: identical for every window size.
+    stream_window: int = 8192
     #: Cap on eligible pairs enumerated per memory location (the
     #: governor's ``truncate_pairs`` rung tightens this under pressure).
     max_pairs_per_location: int = 200_000
@@ -368,6 +379,51 @@ class DCatch:
             for signum, handler in previous_handlers.items():
                 signal.signal(signum, handler)
 
+    def _run_streaming_analysis(
+        self,
+        config: PipelineConfig,
+        trace: Trace,
+        store: "object",
+        restore,
+        budget,
+        stage_status: Dict[str, str],
+        timings: Dict[str, float],
+        governor: ResourceGovernor,
+    ) -> DetectionResult:
+        """Streaming-mode analysis: skip the whole-trace HB graph and
+        reachability closure entirely; one bounded-memory pass over the
+        records (``repro.detect.streaming``).  The detect stage seals
+        into the same checkpoint slot as batch mode, so ``--resume``
+        restores it identically; ``detection.graph`` is None and
+        downstream stages degrade gracefully (placement falls back to
+        non-graph gating)."""
+        from repro.analysis import checkpoint as ckpt
+        from repro.detect.streaming import detect_races_streaming
+
+        if store is not None and store.stage_completed("detect"):
+            payload = restore("detect")
+            detection = ckpt.restore_detection(payload, trace, None)
+            timings["analysis_seconds"] = payload.get("analysis_seconds", 0.0)
+            return detection
+        maybe_stall("stream_detect")
+        stream = detect_races_streaming(
+            records=trace.records,
+            model=config.model,
+            window=config.stream_window,
+            expected_streams=trace.per_thread.keys(),
+            memory_budget_mb=config.memory_budget_mb,
+            should_stop=budget.exceeded,
+        )
+        detection = stream.to_detection(trace)
+        if trace.partial and detection.confidence == "full":
+            detection.confidence = "partial"
+        if store is not None and not detection.stopped_early:
+            store.seal_stage("detect", ckpt.detection_payload(detection))
+        stage_status["detect"] = (
+            "degraded" if detection.stopped_early else "ok"
+        )
+        return detection
+
     def _run_stages_governed(
         self, governor: ResourceGovernor, store: "object"
     ) -> PipelineResult:
@@ -453,131 +509,137 @@ class DCatch:
             with obs.span("pipeline.analysis"), governor.stage(
                 "analysis"
             ) as budget:
-                if store is not None and store.stage_completed("hb"):
-                    graph = HBGraph.from_snapshot(
-                        trace,
-                        restore("hb"),
-                        model=config.model,
-                        memory_budget=reach_budget,
-                        reach_backend=config.reach_backend,
+                if config.detect_mode == "streaming":
+                    detection = self._run_streaming_analysis(
+                        config, trace, store, restore, budget,
+                        stage_status, timings, governor
                     )
                 else:
-                    maybe_stall("hb_build")
-                    graph = HBGraph(
-                        trace,
-                        model=config.model,
-                        memory_budget=reach_budget,
-                        compress_mem=config.compress_mem,
-                        reach_backend=config.reach_backend,
-                    )
-                    if store is not None:
-                        store.seal_stage("hb", graph.to_snapshot())
-                    stage_status["hb"] = "ok"
-
-                if store is not None and store.stage_completed("reach"):
-                    graph.restore_reach(restore("reach"))
-                else:
-                    # Ladder rung 1: a bitset OOM retries with the
-                    # chain-compressed backend before giving up.
-                    while True:
-                        try:
-                            graph.reach_stats()
-                            break
-                        except TraceAnalysisOOM as exc:
-                            if graph.reach_backend == "bitset":
-                                governor.degrade(
-                                    "reach_chain", "reach", str(exc)
-                                )
-                                graph.reach_backend = "chain"
-                                graph._reach = None
-                                continue
-                            governor.degrade("abandoned", "reach", str(exc))
-                            raise
-                    if store is not None:
-                        store.seal_stage("reach", graph.reach_snapshot())
-                    stage_status["reach"] = (
-                        "degraded"
-                        if "reach_chain" in governor.degradations
-                        else "ok"
-                    )
-
-                # Ladder rungs 2 and 3: under RSS pressure shrink the
-                # worker pool (forked workers multiply RSS), then
-                # tighten the per-location pair cap.
-                from repro.detect.parallel import resolve_workers
-
-                workers = config.detect_workers
-                max_pairs = config.max_pairs_per_location
-                if governor.memory_pressure():
-                    if resolve_workers(workers, len(trace.records)) > 1:
-                        governor.degrade(
-                            "detect_serial",
-                            "detect",
-                            "process RSS above memory_budget_mb",
+                    if store is not None and store.stage_completed("hb"):
+                        graph = HBGraph.from_snapshot(
+                            trace,
+                            restore("hb"),
+                            model=config.model,
+                            memory_budget=reach_budget,
+                            reach_backend=config.reach_backend,
                         )
-                        workers = 1
+                    else:
+                        maybe_stall("hb_build")
+                        graph = HBGraph(
+                            trace,
+                            model=config.model,
+                            memory_budget=reach_budget,
+                            compress_mem=config.compress_mem,
+                            reach_backend=config.reach_backend,
+                        )
+                        if store is not None:
+                            store.seal_stage("hb", graph.to_snapshot())
+                        stage_status["hb"] = "ok"
+
+                    if store is not None and store.stage_completed("reach"):
+                        graph.restore_reach(restore("reach"))
+                    else:
+                        # Ladder rung 1: a bitset OOM retries with the
+                        # chain-compressed backend before giving up.
+                        while True:
+                            try:
+                                graph.reach_stats()
+                                break
+                            except TraceAnalysisOOM as exc:
+                                if graph.reach_backend == "bitset":
+                                    governor.degrade(
+                                        "reach_chain", "reach", str(exc)
+                                    )
+                                    graph.reach_backend = "chain"
+                                    graph._reach = None
+                                    continue
+                                governor.degrade("abandoned", "reach", str(exc))
+                                raise
+                        if store is not None:
+                            store.seal_stage("reach", graph.reach_snapshot())
+                        stage_status["reach"] = (
+                            "degraded"
+                            if "reach_chain" in governor.degradations
+                            else "ok"
+                        )
+
+                    # Ladder rungs 2 and 3: under RSS pressure shrink the
+                    # worker pool (forked workers multiply RSS), then
+                    # tighten the per-location pair cap.
+                    from repro.detect.parallel import resolve_workers
+
+                    workers = config.detect_workers
+                    max_pairs = config.max_pairs_per_location
                     if governor.memory_pressure():
-                        governor.degrade(
-                            "truncate_pairs",
-                            "detect",
-                            "process RSS above memory_budget_mb",
-                        )
-                        max_pairs = min(max_pairs, TRUNCATED_MAX_PAIRS)
-
-                if store is not None and store.stage_completed("detect"):
-                    payload = restore("detect")
-                    detection = ckpt.restore_detection(payload, trace, graph)
-                    timings["analysis_seconds"] = payload.get(
-                        "analysis_seconds", 0.0
-                    )
-                else:
-                    on_shard = None
-                    completed_shards = None
-                    if store is not None:
-                        completed_shards = {
-                            entry["index"]: (
-                                entry["pairs"],
-                                entry["examined"],
-                                entry["truncated"],
+                        if resolve_workers(workers, len(trace.records)) > 1:
+                            governor.degrade(
+                                "detect_serial",
+                                "detect",
+                                "process RSS above memory_budget_mb",
                             )
-                            for entry in store.load_shards("detect")
-                        }
-                        shard_log = store.shard_log("detect")
-
-                        def on_shard(index, seq_pairs, pairs, truncated):
-                            shard_log.append(
-                                {
-                                    "index": index,
-                                    "pairs": [list(p) for p in seq_pairs],
-                                    "examined": pairs,
-                                    "truncated": truncated,
-                                }
+                            workers = 1
+                        if governor.memory_pressure():
+                            governor.degrade(
+                                "truncate_pairs",
+                                "detect",
+                                "process RSS above memory_budget_mb",
                             )
+                            max_pairs = min(max_pairs, TRUNCATED_MAX_PAIRS)
 
-                    detection = detect_races(
-                        trace,
-                        model=config.model,
-                        memory_budget=reach_budget,
-                        graph=graph,
-                        max_pairs_per_location=max_pairs,
-                        workers=workers,
-                        reach_backend=config.reach_backend,
-                        on_shard=on_shard,
-                        completed_shards=completed_shards,
-                        should_stop=budget.exceeded,
-                    )
-                    if store is not None and not detection.stopped_early:
-                        # A deadline-truncated detection stays unsealed
-                        # (completed: false): --resume then re-enters the
-                        # stage and enumerates the remaining locations
-                        # from the shard log, instead of skipping a
-                        # permanently partial result.
-                        store.seal_stage(
-                            "detect", ckpt.detection_payload(detection)
+                    if store is not None and store.stage_completed("detect"):
+                        payload = restore("detect")
+                        detection = ckpt.restore_detection(payload, trace, graph)
+                        timings["analysis_seconds"] = payload.get(
+                            "analysis_seconds", 0.0
                         )
-                    stage_status["detect"] = (
-                        "degraded" if detection.stopped_early else "ok"
-                    )
+                    else:
+                        on_shard = None
+                        completed_shards = None
+                        if store is not None:
+                            completed_shards = {
+                                entry["index"]: (
+                                    entry["pairs"],
+                                    entry["examined"],
+                                    entry["truncated"],
+                                )
+                                for entry in store.load_shards("detect")
+                            }
+                            shard_log = store.shard_log("detect")
+
+                            def on_shard(index, seq_pairs, pairs, truncated):
+                                shard_log.append(
+                                    {
+                                        "index": index,
+                                        "pairs": [list(p) for p in seq_pairs],
+                                        "examined": pairs,
+                                        "truncated": truncated,
+                                    }
+                                )
+
+                        detection = detect_races(
+                            trace,
+                            model=config.model,
+                            memory_budget=reach_budget,
+                            graph=graph,
+                            max_pairs_per_location=max_pairs,
+                            workers=workers,
+                            reach_backend=config.reach_backend,
+                            on_shard=on_shard,
+                            completed_shards=completed_shards,
+                            should_stop=budget.exceeded,
+                        )
+                        if store is not None and not detection.stopped_early:
+                            # A deadline-truncated detection stays unsealed
+                            # (completed: false): --resume then re-enters the
+                            # stage and enumerates the remaining locations
+                            # from the shard log, instead of skipping a
+                            # permanently partial result.
+                            store.seal_stage(
+                                "detect", ckpt.detection_payload(detection)
+                            )
+                        stage_status["detect"] = (
+                            "degraded" if detection.stopped_early else "ok"
+                        )
                 reports_pre = ReportSet.from_detection(detection)
             reports = reports_pre
             timings.setdefault(

@@ -1,0 +1,28 @@
+"""Deterministic workload engine: million-record synthetic WAL traces.
+
+Scales the four mini systems' coordination skeleton to hundreds of
+nodes and hundreds of barrier phases, emitting traces directly in WAL
+segment form with planted-race ground truth (see
+:mod:`repro.workload.spec` for the scenario and its guarantees).
+"""
+
+from repro.workload.generator import (
+    GROUND_TRUTH_FORMAT,
+    GROUND_TRUTH_VERSION,
+    GeneratedWorkload,
+    generate_workload,
+    load_ground_truth,
+)
+from repro.workload.spec import PRESETS, SYSTEM_FLAVORS, WorkloadSpec, resolve_spec
+
+__all__ = [
+    "GROUND_TRUTH_FORMAT",
+    "GROUND_TRUTH_VERSION",
+    "GeneratedWorkload",
+    "generate_workload",
+    "load_ground_truth",
+    "PRESETS",
+    "SYSTEM_FLAVORS",
+    "WorkloadSpec",
+    "resolve_spec",
+]

@@ -8,7 +8,14 @@ import pytest
 from repro import obs
 from repro.detect import detect_races
 from repro.detect.chunked import detect_races_chunked
-from repro.detect.parallel import AUTO_SERIAL_THRESHOLD, resolve_workers
+from repro.detect.parallel import (
+    AUTO_SERIAL_THRESHOLD,
+    MAX_CHUNK_RECORDS,
+    MIN_CHUNK_RECORDS,
+    MIN_RECORDS_PER_WORKER,
+    derive_chunk_geometry,
+    resolve_workers,
+)
 from repro.errors import TraceAnalysisOOM
 from repro.runtime import Cluster
 from repro.trace import FullScope, Tracer
@@ -53,15 +60,46 @@ def test_resolve_workers_normalizes():
 def test_resolve_workers_auto_by_trace_size():
     import os
 
+    cpus = os.cpu_count() or 1
     assert resolve_workers("auto", records=10) == 1
     assert resolve_workers("auto", records=AUTO_SERIAL_THRESHOLD - 1) == 1
-    assert resolve_workers("auto", records=AUTO_SERIAL_THRESHOLD) == (
-        os.cpu_count() or 1
+    # just past the threshold: scale by records, not straight to all CPUs
+    assert resolve_workers("auto", records=AUTO_SERIAL_THRESHOLD) == min(
+        cpus, AUTO_SERIAL_THRESHOLD // MIN_RECORDS_PER_WORKER
     )
+    assert resolve_workers("auto", records=100 * MIN_RECORDS_PER_WORKER) == cpus
     # "auto" with no record count stays conservative
     assert resolve_workers("auto") == 1
     with pytest.raises(ValueError):
         resolve_workers("fast")
+
+
+def test_derive_chunk_geometry():
+    # Tiny trace: one whole-trace chunk, no fan-out at all.
+    assert derive_chunk_geometry(1_000, 4) == (1_000, 100)
+    assert derive_chunk_geometry(0, 4) == (1, 0)
+    # The CA-1011 regression: ~10k records on 2 workers used to fan out
+    # into 9 fixed chunks; derived geometry gives one chunk per worker.
+    size, overlap = derive_chunk_geometry(10_000, 2)
+    assert size == 5_000 and overlap == 500
+    # Large traces are bounded by MAX_CHUNK_RECORDS per chunk.
+    size, overlap = derive_chunk_geometry(1_000_000, 4)
+    assert size <= MAX_CHUNK_RECORDS
+    assert overlap == size // 10
+    # Chunks never shrink below MIN_CHUNK_RECORDS even on a wide pool.
+    size, _ = derive_chunk_geometry(8_000, 16)
+    assert size >= MIN_CHUNK_RECORDS
+
+
+def test_chunked_derived_geometry_matches_explicit():
+    trace = _racy_trace(writers=4)
+    explicit = detect_races_chunked(trace, chunk_size=len(trace.records))
+    derived = detect_races_chunked(trace)
+    # A trace this small derives a single whole-trace chunk.
+    assert derived.chunks == 1
+    assert sorted(
+        (c.first.seq, c.second.seq) for c in derived.candidates
+    ) == sorted((c.first.seq, c.second.seq) for c in explicit.candidates)
 
 
 def test_detect_auto_records_decision_and_matches_serial():

@@ -1,0 +1,255 @@
+"""Streaming detection: batch equivalence, resume, damage handling.
+
+The core property: for any trace the streaming detector can express
+(exactly-once message pairing, no whole-trace inference rules), the
+single-pass candidate set equals batch detection under the same HB
+model — for ANY compaction window, including window=1 (compact after
+every record).  The window is a memory knob, never a soundness knob.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detect.races import detect_races
+from repro.detect.streaming import (
+    StreamingDetector,
+    detect_races_streaming,
+    load_stream_checkpoint,
+)
+from repro.errors import CheckpointError
+from repro.hb.incremental import STREAM_UNSUPPORTED_FAMILIES
+from repro.hb.model import FULL_MODEL
+from repro.ids import CallStack
+from repro.runtime.ops import OpEvent, OpKind
+from repro.trace.store import Trace
+from repro.workload import generate_workload
+
+#: The model streaming actually runs: everything except the families
+#: that need the whole trace at once.
+STREAM_MODEL = FULL_MODEL.without(*STREAM_UNSUPPORTED_FAMILIES)
+
+
+# -- random exactly-once traces ----------------------------------------------------
+
+#: One step per entry: (segment 0-3, action).  Actions: a memory access
+#: on one of two locations, a send (fresh unique tag), or a recv of the
+#: oldest outstanding tag — so every (send, recv) pair is exactly-once
+#: and the recv always appears after its send, like a real timeline.
+STEPS = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.sampled_from(["read", "write", "send", "recv"]),
+        st.integers(0, 1),
+    ),
+    min_size=2,
+    max_size=30,
+)
+
+
+def _build(recipe):
+    trace = Trace(name="stream-prop")
+    outstanding = []
+    fresh = 0
+    for i, (segment, action, loc) in enumerate(recipe):
+        if action == "send":
+            kind, obj = OpKind.SOCK_SEND, f"m{fresh}"
+            outstanding.append(obj)
+            fresh += 1
+        elif action == "recv":
+            if not outstanding:
+                continue
+            kind, obj = OpKind.SOCK_RECV, outstanding.pop(0)
+        else:
+            kind = OpKind.MEM_READ if action == "read" else OpKind.MEM_WRITE
+            obj = f"x{loc}"
+        trace.append(
+            OpEvent(
+                seq=i,
+                kind=kind,
+                obj_id=obj,
+                node="n",
+                tid=segment,
+                thread_name=f"t{segment}",
+                segment=segment,
+                callstack=CallStack(),
+                location=(1, f"x{loc}") if kind.value.startswith("mem") else None,
+            )
+        )
+    return trace
+
+
+def _pair_set(candidates):
+    return {(c.first.seq, c.second.seq) for c in candidates}
+
+
+@settings(max_examples=200, deadline=None)
+@given(recipe=STEPS, window=st.sampled_from([1, 3, 7, 10_000]))
+def test_streaming_matches_batch_any_window(recipe, window):
+    trace = _build(recipe)
+    batch = detect_races(trace, model=STREAM_MODEL)
+    stream = detect_races_streaming(
+        records=trace.records,
+        model=STREAM_MODEL,
+        window=window,
+        expected_streams={r.tid for r in trace.records},
+    )
+    assert _pair_set(stream.candidates) == _pair_set(batch.candidates)
+    assert not stream.stopped_early
+    assert stream.confidence == "full"
+
+
+@settings(max_examples=50, deadline=None)
+@given(recipe=STEPS)
+def test_window_one_retires_state(recipe):
+    """The tightest window must actually bound the active-access set:
+    high water can never exceed the unbounded (huge-window) run's."""
+    trace = _build(recipe)
+    streams = {r.tid for r in trace.records}
+    tight = detect_races_streaming(
+        records=trace.records, model=STREAM_MODEL, window=1,
+        expected_streams=streams,
+    )
+    loose = detect_races_streaming(
+        records=trace.records, model=STREAM_MODEL, window=10_000,
+        expected_streams=streams,
+    )
+    assert tight.active_high_water <= loose.active_high_water
+    assert _pair_set(tight.candidates) == _pair_set(loose.candidates)
+
+
+# -- generated workloads: resume, damage, ground truth ------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_workload(tmp_path_factory):
+    out = tmp_path_factory.mktemp("gen")
+    return generate_workload("minizk", "small", 7, str(out))
+
+
+def _planted_set(generated):
+    return {
+        frozenset((r["first_seq"], r["second_seq"]))
+        for r in generated.planted_races
+    }
+
+
+def test_wal_streaming_finds_planted_races(small_workload):
+    result = detect_races_streaming(wal_dir=small_workload.wal_dir, window=64)
+    found = {frozenset(p) for p in result.candidate_seq_pairs()}
+    assert found == _planted_set(small_workload)
+    assert result.records_consumed == small_workload.records
+    assert result.confidence == "full"
+    assert result.records_per_second > 0
+
+
+def test_checkpoint_resume_equals_single_pass(small_workload, tmp_path):
+    ckpt = str(tmp_path / "stream.ckpt")
+    full = detect_races_streaming(wal_dir=small_workload.wal_dir, window=32)
+
+    # First pass: stop partway through, sealing a checkpoint.
+    calls = {"n": 0}
+
+    def stop_soon():
+        calls["n"] += 1
+        return calls["n"] > 4
+
+    partial = detect_races_streaming(
+        wal_dir=small_workload.wal_dir,
+        window=32,
+        checkpoint_path=ckpt,
+        checkpoint_every=1,
+        should_stop=stop_soon,
+    )
+    assert partial.stopped_early
+    assert partial.records_consumed < small_workload.records
+    assert os.path.exists(ckpt)
+    saved = load_stream_checkpoint(ckpt)
+    assert saved["snapshot"]["records_consumed"] > 0
+
+    resumed = detect_races_streaming(
+        wal_dir=small_workload.wal_dir,
+        window=32,
+        checkpoint_path=ckpt,
+        resume=True,
+    )
+    assert not resumed.stopped_early
+    assert resumed.records_consumed == small_workload.records
+    assert _pair_set(resumed.candidates) == _pair_set(full.candidates)
+
+
+def test_resume_rejects_different_window(small_workload, tmp_path):
+    ckpt = str(tmp_path / "stream.ckpt")
+    detect_races_streaming(
+        wal_dir=small_workload.wal_dir,
+        window=32,
+        checkpoint_path=ckpt,
+        checkpoint_every=1,
+        should_stop=lambda: True,
+    )
+    with pytest.raises(CheckpointError):
+        detect_races_streaming(
+            wal_dir=small_workload.wal_dir,
+            window=64,  # different fingerprint
+            checkpoint_path=ckpt,
+            resume=True,
+        )
+
+
+def test_damaged_wal_degrades_to_partial(tmp_path):
+    generated = generate_workload("minimr", "small", 3, str(tmp_path / "g"))
+    # Corrupt one record mid-segment: the rest of that stream is
+    # truncated, the other streams still parse.
+    victim = None
+    for root, _dirs, files in os.walk(generated.wal_dir):
+        for name in sorted(files):
+            if name.endswith(".wal"):
+                victim = os.path.join(root, name)
+                break
+        if victim:
+            break
+    lines = open(victim).read().splitlines(keepends=True)
+    body = [i for i, l in enumerate(lines) if l.startswith("R ")]
+    middle = body[len(body) // 2]
+    lines[middle] = "R 00000bad deadbeef {broken\n"
+    open(victim, "w").writelines(lines)
+
+    result = detect_races_streaming(wal_dir=generated.wal_dir)
+    assert result.confidence == "partial"
+    assert result.damage
+    assert result.records_consumed < generated.records
+
+
+def test_exactly_one_source_required():
+    with pytest.raises(ValueError):
+        detect_races_streaming()
+    with pytest.raises(ValueError):
+        detect_races_streaming(records=[], wal_dir="/nonexistent")
+
+
+def test_feed_api_snapshot_roundtrip(small_workload):
+    from repro.trace.salvage import salvage_trace
+
+    trace, _ = salvage_trace(small_workload.wal_dir)
+    detector = StreamingDetector(model=STREAM_MODEL, window=16)
+    mid = len(trace.records) // 2
+    for record in trace.records[:mid]:
+        detector.feed(record)
+
+    # Serialize mid-stream, restore, finish on the copy.
+    snapshot = json.loads(json.dumps(detector.to_snapshot()))
+    restored = StreamingDetector.from_snapshot(snapshot, STREAM_MODEL)
+    for record in trace.records[mid:]:
+        restored.feed(record)
+    restored.finish()
+
+    for record in trace.records[mid:]:
+        detector.feed(record)
+    detector.finish()
+    assert _pair_set(restored.candidates) == _pair_set(detector.candidates)
+    assert {
+        frozenset(p) for p in _pair_set(detector.candidates)
+    } == _planted_set(small_workload)
