@@ -497,6 +497,11 @@ def detection_payload(detection: "object") -> Dict[str, Any]:
         "auto_decision": detection.auto_decision,
         "confidence": detection.confidence,
         "analysis_seconds": detection.analysis_seconds,
+        "sp_pairs": (
+            sorted([a, b] for a, b in detection.sp_pairs)
+            if detection.sp_pairs is not None
+            else None
+        ),
     }
 
 
@@ -529,6 +534,11 @@ def restore_detection(
         stopped_early=payload.get("stopped_early", False),
         auto_decision=payload.get("auto_decision"),
         confidence=payload.get("confidence", "full"),
+        sp_pairs=(
+            {(a, b) for a, b in payload["sp_pairs"]}
+            if payload.get("sp_pairs") is not None
+            else None
+        ),
     )
 
 
@@ -547,7 +557,7 @@ def prune_payload(prune_result: "object") -> Dict[str, Any]:
 
 
 def restore_prune(payload: Dict[str, Any], reports_pre: "object") -> "object":
-    from repro.analysis.pruner import PruneDecision, PruneResult
+    from repro.analysis.pruner import PruneDecision, PruneResult, rank_reports
     from repro.detect.report import ReportSet
 
     by_id = {report.report_id: report for report in reports_pre}
@@ -567,7 +577,9 @@ def restore_prune(payload: Dict[str, Any], reports_pre: "object") -> "object":
             )
         )
     return PruneResult(
-        kept=ReportSet([d.report for d in decisions if d.keep]),
+        # Same trigger-queue ranking as a fresh StaticPruner.apply, so a
+        # resumed pipeline's reports stay byte-identical to a clean run.
+        kept=ReportSet(rank_reports(d.report for d in decisions if d.keep)),
         pruned=ReportSet([d.report for d in decisions if not d.keep]),
         decisions=decisions,
         seconds=payload.get("seconds", 0.0),
@@ -629,4 +641,8 @@ def outcome_from_dict(data: Dict[str, Any], report: "object") -> "object":
         )
     report.verdict = outcome.verdict
     report.verdict_detail = outcome.detail
+    if outcome.verdict in (Verdict.HARMFUL, Verdict.BENIGN):
+        # Restored verdicts carry the same evidence live ones do: both
+        # orders were actually enforced in a re-execution.
+        report.soundness = "trigger-confirmed"
     return outcome

@@ -15,9 +15,23 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.astutil import SourceIndex
 from repro.analysis.failures import DEFAULT_FAILURE_SPEC, FailureSpec
 from repro.analysis.impact import Impact, ImpactAnalyzer, RpcLink, rpc_links_from_trace
-from repro.detect.report import BugReport, ReportSet
+from repro.detect.report import SOUNDNESS_RANK, BugReport, ReportSet
 from repro.ids import Site
 from repro.runtime.ops import OpEvent
+
+
+def rank_reports(reports) -> List[BugReport]:
+    """Trigger-queue order: strongest soundness tier first (SP-sound
+    candidates jump the queue), stable by report id within a tier —
+    which keeps pre-SP pipelines (all reports ``hb-predicted``)
+    byte-identical to their old output."""
+    return sorted(
+        reports,
+        key=lambda r: (
+            -SOUNDNESS_RANK.get(getattr(r, "soundness", "hb-predicted"), 0),
+            r.report_id,
+        ),
+    )
 
 
 @dataclass
@@ -91,7 +105,15 @@ class StaticPruner:
                 reasons.extend(impact.reasons)
         return PruneDecision(report=report, keep=keep, reasons=reasons)
 
-    def apply(self, reports: ReportSet) -> PruneResult:
+    def apply(self, reports: ReportSet, detection=None) -> PruneResult:
+        """Assess every report; the kept set comes back in trigger-queue
+        order (``rank_reports``: SP-sound first).
+
+        ``detection`` is optional ranking context.  Streaming-mode
+        results carry ``graph=None`` (no whole-trace HB graph exists),
+        so nothing here may touch ``detection.graph`` unguarded — the
+        soundness tiers ranked on were computed at detection time and
+        live on the reports themselves."""
         import time
 
         from repro import obs
@@ -99,8 +121,14 @@ class StaticPruner:
         started = time.perf_counter()
         with obs.span("prune.apply", reports=len(reports)):
             decisions = [self.assess(report) for report in reports]
-        kept = ReportSet([d.report for d in decisions if d.keep])
+        kept = ReportSet(rank_reports(d.report for d in decisions if d.keep))
         pruned = ReportSet([d.report for d in decisions if not d.keep])
+        sp_kept = sum(1 for r in kept if r.soundness == "sp-sound")
+        if sp_kept:
+            obs.counter(
+                "prune_sp_sound_kept_total",
+                "SP-sound reports surviving static pruning",
+            ).inc(sp_kept)
         obs.counter("prune_kept_total", "reports surviving static pruning").inc(
             len(kept)
         )

@@ -417,6 +417,27 @@ def _bench_detect_one(bug_id: str, workers: int) -> Dict[str, object]:
         extra={"workers": workers},
     )
 
+    # The sync-preserving tier: the same candidate list plus the sound
+    # subset — wall cost is the closure graph and one reachability
+    # query per candidate on top of serial detection.
+    from repro.detect.syncpres import detect_races_sync_preserving
+
+    sp, sp_wall, sp_cpu = _timed(lambda: detect_races_sync_preserving(trace))
+    record(
+        "sp",
+        sp,
+        sp_wall,
+        sp_cpu,
+        extra={
+            "workers": 1,
+            "sp_candidates": len(sp.sp_pairs),
+            "tiers": {
+                "sp-sound": len(sp.sp_pairs),
+                "hb-predicted": len(sp.candidates) - len(sp.sp_pairs),
+            },
+        },
+    )
+
     # workers="auto": serial under the record-count threshold (pool
     # startup dominates tiny traces), the full pool above it.
     auto, auto_wall, auto_cpu = _timed(
@@ -503,6 +524,8 @@ def _bench_detect_one(bug_id: str, workers: int) -> Dict[str, object]:
     equal = {
         "sharded_matches_serial": _candidate_set(sharded)
         == _candidate_set(serial),
+        "sp_matches_serial": _candidate_set(sp) == _candidate_set(serial),
+        "sp_subset_of_serial": sp.sp_pairs <= _candidate_set(serial),
         "auto_matches_serial": _candidate_set(auto) == _candidate_set(serial),
         "chain_matches_bitset": _candidate_set(full_chain)
         == _candidate_set(full_bitset),

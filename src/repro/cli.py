@@ -20,6 +20,7 @@ Subcommands::
     dcatch generate minimr --preset xl --out ./gen  # million-record WAL
     dcatch stream ./gen/wal --ground-truth ./gen/ground_truth.json
     dcatch run MR-3274 --detect-mode streaming  # bounded-memory detection
+    dcatch run ZK-1144 --detect-mode sync-preserving  # sound SP tier
 
 Unknown benchmark/system/workload names — and malformed/corrupt trace
 files — exit with status 2 and a one-line error on stderr instead of a
@@ -502,11 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--detect-mode",
-        choices=("batch", "streaming"),
+        choices=("batch", "streaming", "sync-preserving"),
         default="batch",
         dest="detect_mode",
         help="batch = whole-trace HB graph + closure (the paper); "
-        "streaming = single-pass bounded-memory detection",
+        "streaming = single-pass bounded-memory detection; "
+        "sync-preserving = batch plus the sound SP tier (candidates "
+        "with a sync-preserving witness are marked sp-sound and "
+        "triggered first)",
     )
     run.add_argument(
         "--stream-window",

@@ -15,11 +15,23 @@ from repro.detect.export import (
 )
 from repro.detect.lockset import LocksetIndex, LocksetSplit, split_by_lockset
 from repro.detect.races import Candidate, DetectionResult, detect_races
-from repro.detect.report import BugReport, ReportSet, Verdict
+from repro.detect.report import (
+    SOUNDNESS_RANK,
+    SOUNDNESS_TIERS,
+    BugReport,
+    ReportSet,
+    Verdict,
+)
 from repro.detect.streaming import (
     StreamingDetector,
     StreamResult,
     detect_races_streaming,
+)
+from repro.detect.syncpres import (
+    annotate_sync_preserving,
+    build_sp_graph,
+    detect_races_sync_preserving,
+    lock_section_edges,
 )
 
 __all__ = [
@@ -29,6 +41,12 @@ __all__ = [
     "BugReport",
     "ReportSet",
     "Verdict",
+    "SOUNDNESS_TIERS",
+    "SOUNDNESS_RANK",
+    "annotate_sync_preserving",
+    "build_sp_graph",
+    "detect_races_sync_preserving",
+    "lock_section_edges",
     "LocksetIndex",
     "LocksetSplit",
     "split_by_lockset",

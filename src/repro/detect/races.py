@@ -97,6 +97,24 @@ class DetectionResult:
     #: still sound for the records that survived, but pairs involving
     #: lost records are missing and some orderings may be unproven.
     confidence: str = "full"
+    #: ``(first.seq, second.seq)`` of candidates still concurrent under
+    #: the sync-preserving order (``repro.detect.syncpres``) — always a
+    #: subset of the candidate pairs.  None when SP annotation did not
+    #: run (batch/streaming/chunked modes).
+    sp_pairs: Optional[set] = None
+
+    def candidate_soundness(self, candidate: Candidate) -> str:
+        """The soundness tier of one candidate: ``"sp-sound"`` when a
+        sync-preserving witness exists, else ``"hb-predicted"``."""
+        if (
+            self.sp_pairs is not None
+            and (candidate.first.seq, candidate.second.seq) in self.sp_pairs
+        ):
+            return "sp-sound"
+        return "hb-predicted"
+
+    def sp_candidate_count(self) -> int:
+        return len(self.sp_pairs) if self.sp_pairs is not None else 0
 
     def static_pairs(self) -> Dict[frozenset, List[Candidate]]:
         grouped: Dict[frozenset, List[Candidate]] = defaultdict(list)

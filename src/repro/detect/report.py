@@ -32,6 +32,18 @@ class Verdict(Enum):
     HARMFUL = "harmful"
 
 
+#: Soundness tiers, weakest first.  ``hb-predicted``: the HB model says
+#: the pair is concurrent (may be unfeasible — the trigger stage
+#: exists to weed these out).  ``sp-sound``: a sync-preserving
+#: reordering witnesses the race (``repro.detect.syncpres``) — feasible
+#: modulo data-independence.  ``trigger-confirmed``: a controlled
+#: re-execution actually produced both orders (HARMFUL or BENIGN
+#: verdict).
+SOUNDNESS_TIERS = ("hb-predicted", "sp-sound", "trigger-confirmed")
+
+SOUNDNESS_RANK = {tier: rank for rank, tier in enumerate(SOUNDNESS_TIERS)}
+
+
 @dataclass
 class BugReport:
     """One deduplicated DCbug report (unique callstack pair)."""
@@ -44,6 +56,10 @@ class BugReport:
     #: ``"partial"`` means the trace was damaged/salvaged and the
     #: candidate set may be incomplete.
     confidence: str = "full"
+    #: One of ``SOUNDNESS_TIERS``: how strong the evidence for this
+    #: report is.  Starts at the detector's tier; the trigger stage
+    #: upgrades to ``trigger-confirmed`` when it enforces both orders.
+    soundness: str = "hb-predicted"
 
     @property
     def representative(self) -> Candidate:
@@ -70,6 +86,8 @@ class BugReport:
 
     def describe(self) -> str:
         tag = "" if self.confidence == "full" else f" (confidence: {self.confidence})"
+        if self.soundness != "hb-predicted":
+            tag += f" <{self.soundness}>"
         lines = [f"DCbug report #{self.report_id} [{self.verdict.value}]{tag}"]
         rep = self.representative
         lines.append(f"  variable: {rep.variable} location={rep.location}")
@@ -93,16 +111,26 @@ class ReportSet:
     @classmethod
     def from_detection(cls, detection: DetectionResult) -> "ReportSet":
         grouped = detection.callstack_pairs()
-        reports = [
-            BugReport(
-                report_id=i + 1,
-                candidates=candidates,
-                confidence=detection.confidence,
+        reports = []
+        for i, (_key, candidates) in enumerate(
+            sorted(grouped.items(), key=lambda kv: kv[1][0].first.seq)
+        ):
+            # One SP-sound dynamic instance is a witness for the whole
+            # callstack pair: that instance is the one worth triggering.
+            soundness = "hb-predicted"
+            if any(
+                detection.candidate_soundness(c) == "sp-sound"
+                for c in candidates
+            ):
+                soundness = "sp-sound"
+            reports.append(
+                BugReport(
+                    report_id=i + 1,
+                    candidates=candidates,
+                    confidence=detection.confidence,
+                    soundness=soundness,
+                )
             )
-            for i, (_key, candidates) in enumerate(
-                sorted(grouped.items(), key=lambda kv: kv[1][0].first.seq)
-            )
-        ]
         return cls(reports)
 
     def __len__(self) -> int:
@@ -139,6 +167,13 @@ class ReportSet:
     def filter(self, keep: Iterable[BugReport]) -> "ReportSet":
         kept = set(id(r) for r in keep)
         return ReportSet([r for r in self.reports if id(r) in kept])
+
+    def soundness_counts(self) -> Dict[str, int]:
+        """Reports per soundness tier (zero tiers omitted)."""
+        counts: Dict[str, int] = {}
+        for report in self.reports:
+            counts[report.soundness] = counts.get(report.soundness, 0) + 1
+        return counts
 
     def summary(self) -> str:
         parts = []

@@ -54,6 +54,7 @@ class HBGraph:
         memory_budget: int = DEFAULT_MEMORY_BUDGET,
         compress_mem: bool = True,
         reach_backend: str = "bitset",
+        extra_backbone: Optional[Set[int]] = None,
     ) -> None:
         """``compress_mem=False`` runs the paper's original algorithm —
         a reachability bit set for *every* vertex including memory
@@ -63,7 +64,12 @@ class HBGraph:
 
         ``reach_backend`` selects the reachability engine: ``"bitset"``
         (the paper's O(n²/8)-byte bit matrix) or ``"chain"`` (segment-
-        chain compression, O(n·chains) — see ``repro.hb.reach``)."""
+        chain compression, O(n·chains) — see ``repro.hb.reach``).
+
+        ``extra_backbone`` promotes additional record seqs onto the
+        backbone so edges can attach to them (used by the
+        sync-preserving backend to thread lock acquire/release records,
+        which are not HB operations, into the order)."""
         if reach_backend not in REACH_BACKENDS:
             raise ValueError(
                 f"unknown reach_backend {reach_backend!r}; "
@@ -104,11 +110,14 @@ class HBGraph:
                 pull_endpoints.add(edge.read_seq)
 
             # -- backbone selection --------------------------------------------
+            promoted = extra_backbone or frozenset()
             if compress_mem:
                 self.backbone: List[OpEvent] = [
                     r
                     for r in trace.records
-                    if r.kind in HB_KINDS or r.seq in pull_endpoints
+                    if r.kind in HB_KINDS
+                    or r.seq in pull_endpoints
+                    or r.seq in promoted
                 ]
             else:
                 self.backbone = list(trace.records)

@@ -42,7 +42,11 @@ from repro.systems.base import Workload
 from repro.trace.scope import FullScope, TracingScope, selective_scope_for
 from repro.trace.store import Trace
 from repro.trace.tracer import Tracer
-from repro.trigger.explorer import TriggerModule, TriggerOutcome
+from repro.trigger.explorer import (
+    TriggerModule,
+    TriggerOutcome,
+    prioritize_reports,
+)
 from repro.trigger.placement import PlacementAnalyzer
 
 
@@ -71,7 +75,11 @@ class PipelineConfig:
     #: closure before detection (the paper's offline algorithm);
     #: ``"streaming"`` runs the single-pass bounded-memory detector
     #: (``repro.detect.streaming``) — no graph, no closure, memory
-    #: tracks concurrency width instead of trace length.
+    #: tracks concurrency width instead of trace length;
+    #: ``"sync-preserving"`` runs the batch path and then replays the
+    #: candidates against the sync-preserving order
+    #: (``repro.detect.syncpres``) — pairs with a sound reordering
+    #: witness are tiered ``sp-sound`` and jump the prune/trigger queue.
     detect_mode: str = "batch"
     #: Streaming-mode compaction cadence (records between HB-frontier
     #: eviction passes).  Memory/CPU knob only: the candidate set is
@@ -209,10 +217,29 @@ class PipelineResult:
                 f"pairs, {self.detection.static_count()} static, "
                 f"{self.detection.callstack_count()} callstack{tag}"
             )
+            if self.detection.sp_pairs is not None:
+                hb_only = len(self.detection.candidates) - len(
+                    self.detection.sp_pairs
+                )
+                lines.append(
+                    f"sync-preserving: {len(self.detection.sp_pairs)} of "
+                    f"{len(self.detection.candidates)} dynamic pairs "
+                    f"sp-sound ({hb_only} hb-only)"
+                )
         if self.prune_result is not None:
             lines.append(f"static pruning: {self.prune_result.summary()}")
         if self.reports is not None:
             lines.append(f"DCatch reports: {self.reports.summary()}")
+            tiers = self.reports.soundness_counts()
+            if set(tiers) - {"hb-predicted"}:
+                from repro.detect.report import SOUNDNESS_TIERS
+
+                parts = ", ".join(
+                    f"{tier}={tiers[tier]}"
+                    for tier in reversed(SOUNDNESS_TIERS)
+                    if tier in tiers
+                )
+                lines.append(f"soundness: {parts}")
         if self.stage_failures:
             parts = ", ".join(
                 f"{stage}: {count}" for stage, count in sorted(self.stage_failures.items())
@@ -233,11 +260,19 @@ class PipelineResult:
 class DCatch:
     """The detector, wired for one workload."""
 
+    #: Valid ``PipelineConfig.detect_mode`` values.
+    DETECT_MODES = ("batch", "streaming", "sync-preserving")
+
     def __init__(
         self, workload: Workload, config: Optional[PipelineConfig] = None
     ) -> None:
         self.workload = workload
         self.config = config or PipelineConfig()
+        if self.config.detect_mode not in self.DETECT_MODES:
+            raise ValueError(
+                f"unknown detect_mode {self.config.detect_mode!r}; "
+                f"expected one of {self.DETECT_MODES}"
+            )
 
     # -- stages ----------------------------------------------------------------
 
@@ -592,6 +627,23 @@ class DCatch:
                         timings["analysis_seconds"] = payload.get(
                             "analysis_seconds", 0.0
                         )
+                        if (
+                            config.detect_mode == "sync-preserving"
+                            and detection.sp_pairs is None
+                        ):
+                            # Checkpoint predates the SP annotation (or
+                            # was sealed without it): recompute — cheap
+                            # next to the restored enumeration.
+                            from repro.detect.syncpres import (
+                                annotate_sync_preserving,
+                            )
+
+                            annotate_sync_preserving(
+                                detection,
+                                model=config.model,
+                                memory_budget=reach_budget,
+                                reach_backend=config.reach_backend,
+                            )
                     else:
                         on_shard = None
                         completed_shards = None
@@ -628,6 +680,20 @@ class DCatch:
                             completed_shards=completed_shards,
                             should_stop=budget.exceeded,
                         )
+                        if config.detect_mode == "sync-preserving":
+                            # Annotate before sealing so sp_pairs ride
+                            # the detect checkpoint and a resumed run
+                            # restores them instead of recomputing.
+                            from repro.detect.syncpres import (
+                                annotate_sync_preserving,
+                            )
+
+                            annotate_sync_preserving(
+                                detection,
+                                model=config.model,
+                                memory_budget=reach_budget,
+                                reach_backend=config.reach_backend,
+                            )
                         if store is not None and not detection.stopped_early:
                             # A deadline-truncated detection stays unsealed
                             # (completed: false): --resume then re-enters the
@@ -674,7 +740,12 @@ class DCatch:
                             trace,
                             interprocedural_depth=config.interprocedural_depth,
                         )
-                        prune_result = pruner.apply(reports_pre)
+                        # detection may be graph-less (streaming mode);
+                        # the pruner tolerates that — ranking context
+                        # comes from the reports' soundness tiers.
+                        prune_result = pruner.apply(
+                            reports_pre, detection=detection
+                        )
                     reports = prune_result.kept
                     timings["pruning_seconds"] = time.perf_counter() - started
                     if store is not None:
@@ -732,7 +803,9 @@ class DCatch:
                         stage_failed("trigger", exc)
                     else:
                         stage_status.setdefault("trigger", "ok")
-                        for report in reports:
+                        # Strongest-evidence-first: under a deadline the
+                        # reports left UNKNOWN are the weakest tier.
+                        for report in prioritize_reports(reports):
                             if report.report_id in done:
                                 outcomes.append(
                                     ckpt.outcome_from_dict(

@@ -31,6 +31,12 @@ class AppMaster:
         self.jobs = self.node.shared_dict("jobs")
         self.done_count = self.node.shared_counter("done_count")
         self.registered_count = self.node.shared_counter("registered_count")
+        # Job-lifecycle audit trail, bumped under ``job-lock`` from both
+        # the dispatcher (Register) and the RPC path (report_done).  The
+        # lock makes the cross-thread writes atomic, but mutual exclusion
+        # is not ordering: DCatch's HB model (correctly) still reports
+        # the pair, while a sync-preserving analysis orders it.
+        self.job_events = self.node.shared_counter("job_events")
         self.dispatcher = self.node.event_queue("dispatcher", consumers=1)
         self.dispatcher.register("register_task", self.on_register_task)
         self.dispatcher.register("kill_job", self.on_kill_job)
@@ -61,6 +67,8 @@ class AppMaster:
         return self.tasks.get(task_id)
 
     def report_done(self, job_id: str, task_id: str) -> int:
+        with self.node.lock("job-lock"):
+            self.job_events.increment()
         return self.done_count.increment()
 
     def heartbeat(self, job_id: str, task_id: str) -> bool:
@@ -93,6 +101,7 @@ class AppMaster:
         # guards against future multi-queue configurations).
         with self.node.lock("job-lock"):
             self.registered_count.increment()
+            self.job_events.increment()
 
     def on_kill_job(self, event) -> None:
         """The Unregister handler of Figure 2: drop the job's tasks."""

@@ -30,6 +30,37 @@ from repro.trigger.placement import GatePlan
 ClusterFactory = Callable[[int], Cluster]
 
 
+def prioritize_reports(reports) -> List[BugReport]:
+    """Trigger order: strongest soundness tier first.
+
+    SP-sound reports carry a feasibility witness — a sync-preserving
+    reordering that produces the race — so they are the likeliest to
+    enforce and the first to spend re-execution budget on; under a
+    stage deadline the reports left UNKNOWN are the weakest ones.
+    Stable by report id within a tier, so pipelines without the SP tier
+    keep their historical trigger order exactly."""
+    from repro.detect.report import SOUNDNESS_RANK
+
+    return sorted(
+        reports,
+        key=lambda r: (-SOUNDNESS_RANK.get(r.soundness, 0), r.report_id),
+    )
+
+
+def _confirm_soundness(report: BugReport, verdict: Verdict) -> None:
+    """HARMFUL/BENIGN mean both orders really executed: the race is no
+    longer predicted but observed.  SERIAL/UNKNOWN leave the detector's
+    tier untouched (never downgrade — a later SERIAL plan variant must
+    not erase an earlier confirmation)."""
+    if verdict in (Verdict.HARMFUL, Verdict.BENIGN):
+        if report.soundness != "trigger-confirmed":
+            report.soundness = "trigger-confirmed"
+            obs.counter(
+                "detect_soundness_tier_total",
+                "candidates per soundness tier",
+            ).labels(tier="trigger-confirmed").inc()
+
+
 @dataclass
 class TriggerRun:
     """One controlled re-execution."""
@@ -139,6 +170,7 @@ class TriggerModule:
             )
         report.verdict = outcome.verdict
         report.verdict_detail = outcome.detail
+        _confirm_soundness(report, outcome.verdict)
         return outcome
 
     def validate_report(
@@ -180,6 +212,7 @@ class TriggerModule:
             # most severe outcome as the final word.
             report.verdict = best.verdict
             report.verdict_detail = best.detail
+            _confirm_soundness(report, best.verdict)
         return best
 
     def validate_all(

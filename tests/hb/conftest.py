@@ -1,0 +1,99 @@
+"""Shared trace generator for the HB/SP property harnesses.
+
+``STEPS`` draws small multi-threaded schedules (4 segments) mixing
+memory accesses, exactly-once socket messages, and lock critical
+sections; ``build_trace`` turns one into a valid ``Trace``:
+
+* every send gets a fresh tag and each recv pairs with the *oldest*
+  outstanding tag, so the (send, recv) matching is exactly-once and a
+  recv never precedes its send — like a real timeline;
+* locks obey global mutual exclusion: an acquire while another segment
+  holds the lock is dropped (no real schedule could take it there), a
+  same-segment re-acquire nests (reentrancy), and only the holder may
+  release.
+
+Steps the discipline forbids are *skipped*, not rejected, which keeps
+the strategy shrinking-friendly: hypothesis can delete any prefix of a
+failing recipe and still get a valid trace.
+"""
+
+from hypothesis import strategies as st
+
+from repro.ids import CallStack
+from repro.runtime.ops import OpEvent, OpKind
+from repro.trace.store import Trace
+
+ACTIONS = ("read", "write", "send", "recv", "acquire", "release")
+
+#: One step per entry: (segment 0-3, action, pick).  ``pick`` selects
+#: one of two memory locations or one of two locks.
+STEPS = st.lists(
+    st.tuples(st.integers(0, 3), st.sampled_from(ACTIONS), st.integers(0, 1)),
+    min_size=2,
+    max_size=30,
+)
+
+
+def lockfree(recipe):
+    """The same schedule with the lock operations deleted."""
+    return [s for s in recipe if s[1] not in ("acquire", "release")]
+
+
+def build_trace(recipe, name="prop"):
+    trace = Trace(name=name)
+    outstanding = []
+    fresh = 0
+    holder = {}  # lock obj_id -> [holding segment, reentrancy depth]
+    seq = 0
+    for segment, action, pick in recipe:
+        location = None
+        if action == "send":
+            kind, obj = OpKind.SOCK_SEND, f"m{fresh}"
+            outstanding.append(obj)
+            fresh += 1
+        elif action == "recv":
+            if not outstanding:
+                continue
+            kind, obj = OpKind.SOCK_RECV, outstanding.pop(0)
+        elif action == "acquire":
+            obj = f"l{pick}"
+            held = holder.get(obj)
+            if held is not None and held[0] != segment:
+                continue  # busy in another segment: unschedulable here
+            if held is None:
+                holder[obj] = [segment, 1]
+            else:
+                held[1] += 1
+            kind = OpKind.LOCK_ACQUIRE
+        elif action == "release":
+            obj = f"l{pick}"
+            held = holder.get(obj)
+            if held is None or held[0] != segment:
+                continue  # only the holder releases
+            held[1] -= 1
+            if held[1] == 0:
+                del holder[obj]
+            kind = OpKind.LOCK_RELEASE
+        else:
+            kind = OpKind.MEM_READ if action == "read" else OpKind.MEM_WRITE
+            obj = f"x{pick}"
+            location = (1, f"x{pick}")
+        trace.append(
+            OpEvent(
+                seq=seq,
+                kind=kind,
+                obj_id=obj,
+                node="n",
+                tid=segment,
+                thread_name=f"t{segment}",
+                segment=segment,
+                callstack=CallStack(),
+                location=location,
+            )
+        )
+        seq += 1
+    return trace
+
+
+def pair_set(candidates):
+    return {(c.first.seq, c.second.seq) for c in candidates}

@@ -1,0 +1,190 @@
+"""Unified differential harness: five engines, one HB relation, SP ⊆ HB.
+
+Random valid schedules (``tests/hb/conftest.py``: threads, exactly-once
+messages, well-nested locks) drive every reachability engine the
+detector can use — the bit-set graph, the chain-compressed graph, the
+naive DFS, vector clocks, and the streaming segment-clock state — plus
+the sync-preserving order on top.  The invariants:
+
+* all five engines agree on ``happens_before`` for every record pair
+  (on lock-free schedules, where the SP order adds nothing);
+* the SP order *contains* the HB order, so SP-concurrent ⇒
+  HB-concurrent: the sound tier can only shrink the candidate set;
+* on lock-free schedules SP and HB coincide exactly;
+* SP detection keeps the HB candidate list and marks a subset sound;
+* the SP tier still recalls every planted race of a generated workload
+  (the soundness restriction never drops a real, planted bug).
+"""
+
+import itertools
+
+import pytest
+from conftest import STEPS, build_trace, lockfree, pair_set
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detect import (
+    build_sp_graph,
+    detect_races,
+    detect_races_sync_preserving,
+)
+from repro.detect.streaming import detect_races_streaming
+from repro.detect.syncpres import annotate_sync_preserving
+from repro.hb import HBGraph, NaiveReachability, VectorClockEngine
+from repro.hb.incremental import (
+    STREAM_UNSUPPORTED_FAMILIES,
+    StreamingHBState,
+)
+from repro.hb.model import FULL_MODEL
+from repro.workload import generate_workload
+
+#: Whole-trace inference rules (eserial, pull) are out: the streaming
+#: engine cannot run them, and pull would let the generator's memory
+#: accesses manufacture HB edges behind the schedule's back.
+HARNESS_MODEL = FULL_MODEL.without(*STREAM_UNSUPPORTED_FAMILIES)
+
+
+@settings(max_examples=200, deadline=None)
+@given(recipe=STEPS)
+def test_five_engines_agree_on_shared_relation(recipe):
+    """bitset == chain == naive DFS == vector clocks == streaming
+    clocks == SP graph, pairwise, on lock-free schedules."""
+    trace = build_trace(lockfree(recipe))
+    bitset = HBGraph(trace, model=HARNESS_MODEL, reach_backend="bitset")
+    chain = HBGraph(trace, model=HARNESS_MODEL, reach_backend="chain")
+    naive = NaiveReachability(bitset)
+    vc = VectorClockEngine(bitset)
+    sp = build_sp_graph(trace, model=HARNESS_MODEL)  # no locks: SP == HB
+
+    for x, y in itertools.permutations(trace.records, 2):
+        expected = naive.happens_before(x, y)
+        assert bitset.happens_before(x, y) == expected, (x.seq, y.seq)
+        assert chain.happens_before(x, y) == expected, (x.seq, y.seq)
+        assert vc.happens_before(x, y) == expected, (x.seq, y.seq)
+        assert sp.happens_before(x, y) == expected, (x.seq, y.seq)
+
+    # The streaming engine answers online: right after a record arrives,
+    # ordered_before(pos(x), seg(new)) must match the offline graph for
+    # every earlier record x.
+    state = StreamingHBState(
+        model=HARNESS_MODEL,
+        expected_streams={r.tid for r in trace.records},
+    )
+    positions = {}
+    for record in trace.records:
+        pos = state.observe(record)
+        for earlier in trace.records:
+            if earlier.seq >= record.seq:
+                break
+            a_seg, a_count = positions[earlier.seq]
+            assert state.ordered_before(
+                a_seg, a_count, record.segment
+            ) == bitset.happens_before(earlier, record), (
+                earlier.seq,
+                record.seq,
+            )
+        positions[record.seq] = pos
+
+
+@settings(max_examples=200, deadline=None)
+@given(recipe=STEPS)
+def test_sp_order_contains_hb_order(recipe):
+    """With locks in play: HB-ordered ⇒ SP-ordered for every pair, so
+    SP-concurrent ⇒ HB-concurrent (SP ⊆ HB on the race side)."""
+    trace = build_trace(recipe)
+    hb = HBGraph(trace, model=HARNESS_MODEL)
+    sp = build_sp_graph(trace, model=HARNESS_MODEL)
+    for x, y in itertools.permutations(trace.records, 2):
+        if hb.happens_before(x, y):
+            assert sp.happens_before(x, y), (x.seq, y.seq)
+    for x, y in itertools.combinations(trace.records, 2):
+        if sp.concurrent(x, y):
+            assert hb.concurrent(x, y), (x.seq, y.seq)
+
+
+@settings(max_examples=200, deadline=None)
+@given(recipe=STEPS)
+def test_sp_detection_marks_a_subset_sound(recipe):
+    """SP detection returns the *same* candidate list as HB detection
+    and flags a subset as sp-sound; on lock-free schedules the subset
+    is everything."""
+    trace = build_trace(recipe)
+    hb = detect_races(trace, model=HARNESS_MODEL)
+    sp = detect_races_sync_preserving(trace, model=HARNESS_MODEL)
+    hb_pairs = pair_set(hb.candidates)
+    assert pair_set(sp.candidates) == hb_pairs
+    assert sp.sp_pairs <= hb_pairs
+
+    free = build_trace(lockfree(recipe))
+    sp_free = detect_races_sync_preserving(free, model=HARNESS_MODEL)
+    assert sp_free.sp_pairs == pair_set(sp_free.candidates)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    recipe=STEPS,
+    windows=st.tuples(
+        st.sampled_from([1, 3]), st.sampled_from([7, 10_000])
+    ),
+)
+def test_sp_subset_is_window_invariant(recipe, windows):
+    """The sound subset is a property of the trace, not of how it was
+    streamed: annotating streaming results obtained under different
+    compaction windows yields the identical sp_pairs set."""
+    trace = build_trace(recipe)
+    streams = {r.tid for r in trace.records}
+    subsets = []
+    for window in windows:
+        result = detect_races_streaming(
+            records=trace.records,
+            model=HARNESS_MODEL,
+            window=window,
+            expected_streams=streams,
+        )
+        detection = result.to_detection(trace)
+        annotate_sync_preserving(detection, model=HARNESS_MODEL)
+        subsets.append(detection.sp_pairs)
+    assert subsets[0] == subsets[1]
+
+
+def test_common_lock_pair_is_hb_candidate_but_not_sp():
+    """The deterministic core of the tier: both writes under the same
+    lock — DCatch's HB model reports the pair (locks are not ordering),
+    the SP closure orders it out of the sound set."""
+    recipe = [
+        (0, "acquire", 0),
+        (0, "write", 0),
+        (0, "release", 0),
+        (1, "acquire", 0),
+        (1, "write", 0),
+        (1, "release", 0),
+    ]
+    trace = build_trace(recipe)
+    detection = detect_races_sync_preserving(trace, model=HARNESS_MODEL)
+    writes = {(1, 4)}  # the two MEM_WRITE seqs
+    assert pair_set(detection.candidates) == writes
+    assert detection.sp_pairs == set()
+    assert detection.candidate_soundness(detection.candidates[0]) == (
+        "hb-predicted"
+    )
+
+
+@pytest.fixture(scope="module")
+def generated_minizk(tmp_path_factory):
+    out = tmp_path_factory.mktemp("gen-sp")
+    return generate_workload("minizk", "small", 7, str(out))
+
+
+def test_sp_recalls_planted_races(generated_minizk):
+    """SP ⊇ ground truth: every race the generator planted survives the
+    sync-preserving restriction — soundness costs no planted recall."""
+    from repro.trace.salvage import salvage_trace
+
+    trace, _report = salvage_trace(generated_minizk.wal_dir)
+    detection = detect_races_sync_preserving(trace)
+    planted = {
+        frozenset((r["first_seq"], r["second_seq"]))
+        for r in generated_minizk.planted_races
+    }
+    sound = {frozenset(p) for p in detection.sp_pairs}
+    assert planted <= sound

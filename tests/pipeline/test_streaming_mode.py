@@ -76,6 +76,22 @@ def test_streaming_checkpoint_resume(tmp_path, streaming_result):
     assert _pairs(resumed) == _pairs(streaming_result)
 
 
+def test_pruner_tolerates_graphless_detection(streaming_result):
+    """Regression: the pruner ranks on report soundness tiers and must
+    never touch ``detection.graph`` — streaming results carry None."""
+    from repro.analysis import SourceIndex, StaticPruner
+    from repro.detect import ReportSet
+
+    workload = workload_by_id("ZK-1144")
+    detection = streaming_result.detection
+    assert detection.graph is None
+    reports = ReportSet.from_detection(detection)
+    index = SourceIndex.from_modules(workload.modules())
+    pruner = StaticPruner.for_trace(index, detection.trace)
+    result = pruner.apply(reports, detection=detection)
+    assert len(result.kept) + len(result.pruned) == len(reports)
+
+
 def test_batch_checkpoint_not_reused_by_streaming(tmp_path):
     """detect_mode is part of the checkpoint fingerprint: a batch
     checkpoint never masquerades as a streaming run."""
