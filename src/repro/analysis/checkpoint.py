@@ -92,6 +92,13 @@ def config_fingerprint(benchmark: str, config: "object") -> str:
         ),
         "trace_schema": TRACE_SCHEMA_VERSION,
     }
+    # Sampling thins the traced record stream itself, so resuming a
+    # sampled checkpoint under a different policy/seed must be refused.
+    # Keys are added only when sampling is on, so fingerprints of
+    # unsampled runs (and their existing checkpoints) are unchanged.
+    if getattr(config, "sampling", None) is not None:
+        fields["sampling"] = config.sampling
+        fields["sampling_seed"] = getattr(config, "sampling_seed", 0)
     blob = json.dumps(fields, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()[:16]
 
@@ -460,6 +467,12 @@ def trace_stage_payload(
     return {
         "name": trace.name,
         "partial": bool(getattr(trace, "partial", False)),
+        "sampled": bool(getattr(trace, "sampled", False)),
+        "sampling_rate": getattr(trace, "sampling_rate", None),
+        "sampled_dropped": dict(getattr(trace, "sampled_dropped", {}) or {}),
+        "dropped_mem": int(getattr(trace, "dropped_mem", 0)),
+        "skipped_unbound": int(getattr(trace, "skipped_unbound", 0)),
+        "skipped_untraced": int(getattr(trace, "skipped_untraced", 0)),
         "thread_files": {
             str(tid): blob for tid, blob in trace.dump_thread_files().items()
         },
@@ -476,6 +489,12 @@ def restore_trace_stage(
     }
     trace = Trace.from_thread_files(files, name=payload.get("name", "trace"))
     trace.partial = bool(payload.get("partial", False))
+    trace.sampled = bool(payload.get("sampled", False))
+    trace.sampling_rate = payload.get("sampling_rate")
+    trace.sampled_dropped = dict(payload.get("sampled_dropped", {}) or {})
+    trace.dropped_mem = int(payload.get("dropped_mem", 0))
+    trace.skipped_unbound = int(payload.get("skipped_unbound", 0))
+    trace.skipped_untraced = int(payload.get("skipped_untraced", 0))
     return (
         trace,
         run_result_from_dict(payload["base_result"]),

@@ -15,20 +15,23 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.astutil import SourceIndex
 from repro.analysis.failures import DEFAULT_FAILURE_SPEC, FailureSpec
 from repro.analysis.impact import Impact, ImpactAnalyzer, RpcLink, rpc_links_from_trace
-from repro.detect.report import SOUNDNESS_RANK, BugReport, ReportSet
+from repro.detect.report import CONFIDENCE_RANK, SOUNDNESS_RANK, BugReport, ReportSet
 from repro.ids import Site
 from repro.runtime.ops import OpEvent
 
 
 def rank_reports(reports) -> List[BugReport]:
     """Trigger-queue order: strongest soundness tier first (SP-sound
-    candidates jump the queue), stable by report id within a tier —
-    which keeps pre-SP pipelines (all reports ``hb-predicted``)
-    byte-identical to their old output."""
+    candidates jump the queue), then strongest confidence (``full`` <
+    ``partial`` < ``sampled`` — sampled evidence queues after sp-sound
+    full-trace reports), stable by report id within a tier — which
+    keeps pre-SP single-confidence pipelines byte-identical to their
+    old output."""
     return sorted(
         reports,
         key=lambda r: (
             -SOUNDNESS_RANK.get(getattr(r, "soundness", "hb-predicted"), 0),
+            CONFIDENCE_RANK.get(getattr(r, "confidence", "full"), 0),
             r.report_id,
         ),
     )

@@ -325,13 +325,15 @@ def _guarded(bug_id: str, fn) -> Dict[str, object]:
 
 
 def bench_pipeline_data(
-    bug_ids=BENCH_REPRESENTATIVES, trace_dir: Optional[str] = None
+    bug_ids=BENCH_REPRESENTATIVES,
+    trace_dir: Optional[str] = None,
+    sampling_presets=None,
 ) -> Dict[str, object]:
     """The ``BENCH_pipeline.json`` document: one entry per mini system."""
     import platform
     import sys
 
-    return {
+    document = {
         "format": "repro-bench-pipeline",
         "version": 1,
         "python": sys.version.split()[0],
@@ -341,19 +343,198 @@ def bench_pipeline_data(
             for bug_id in bug_ids
         ],
     }
+    if sampling_presets:
+        document["sampling"] = bench_sampling_data(sampling_presets)
+    return document
 
 
 def write_bench_json(
     path=BENCH_JSON_PATH,
     bug_ids=BENCH_REPRESENTATIVES,
     trace_dir: Optional[str] = None,
+    sampling_presets=None,
 ) -> Path:
     import json
 
     path = Path(path)
-    document = bench_pipeline_data(bug_ids, trace_dir)
+    document = bench_pipeline_data(bug_ids, trace_dir, sampling_presets)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path
+
+
+# -- sampled-tracing benchmark ------------------------------------------------
+
+#: Sample rates the ``--sampling`` bench sweeps, highest first.
+SAMPLING_BENCH_RATES = (1.0, 0.1, 0.01)
+SAMPLING_BENCH_SEED = 0
+#: Replay timings take the best of this many repeats — the replay is a
+#: tight single-process loop, so min-of-N is the low-noise estimator.
+SAMPLING_BENCH_REPEATS = 3
+
+
+def _sampling_replay(records, sampler):
+    """The tracer hot path on a pre-loaded record list: consult the
+    sampler, honour reservoir evictions, and serialize every kept
+    record (the WAL write path minus the disk).  Returns the serialized
+    lines so the rate-1.0 run can be byte-compared against the
+    unsampled output."""
+    import json
+
+    from repro.trace.records import record_to_dict
+
+    kept = {}
+    for event in records:
+        if sampler is not None:
+            keep, evictions = sampler.observe(event)
+            for seq in evictions:
+                kept.pop(seq, None)
+            if not keep:
+                continue
+        kept[event.seq] = event
+    return [
+        json.dumps(record_to_dict(event), sort_keys=True)
+        for event in kept.values()
+    ]
+
+
+def _bench_sampling_one(
+    preset: str, rates=SAMPLING_BENCH_RATES, seed: int = SAMPLING_BENCH_SEED
+) -> Dict[str, object]:
+    """Tracing overhead and planted-race recall across sample rates on
+    one generated workload.
+
+    Overhead is the replay wall time (filter + serialize, best of
+    repeats): keeping fewer records means serializing fewer, so the
+    wall times should fall monotonically with the rate.  Recall is
+    scored by running the streaming detector over the same WAL through
+    a fresh sampler and matching candidates against the generator's
+    planted-race ground truth.  At rate 1.0 the sampler is a no-op
+    (``KeepAll``) and the replay output must be byte-identical to the
+    unsampled one.
+    """
+    import gc
+    import shutil
+    import tempfile
+
+    from repro.detect.streaming import detect_races_streaming
+    from repro.trace.salvage import salvage_trace
+    from repro.trace.sampling import build_sampler
+    from repro.workload import generate_workload
+
+    out_dir = tempfile.mkdtemp(prefix=f"dcatch-bench-sampling-{preset}-")
+    try:
+        generated = generate_workload(
+            STREAM_BENCH_SYSTEM, preset, STREAM_BENCH_SEED, out_dir
+        )
+        planted = {
+            frozenset((race["first_seq"], race["second_seq"]))
+            for race in generated.planted_races
+        }
+        trace, _report = salvage_trace(generated.wal_dir)
+        records = list(trace.records)
+
+        def recall(seq_pairs) -> float:
+            if not planted:
+                return 1.0
+            found = {frozenset(pair) for pair in seq_pairs}
+            return round(len(planted & found) / len(planted), 4)
+
+        gc.collect()
+        baseline_lines, baseline_wall, _ = _timed(
+            lambda: _sampling_replay(records, None)
+        )
+
+        entries = []
+        identity_at_rate_1 = None
+        for rate in rates:
+            spec = f"{rate:g}"
+            best_wall = None
+            lines: list = []
+            sampler = None
+            for _ in range(SAMPLING_BENCH_REPEATS):
+                candidate = build_sampler(spec, seed)
+                # Collect before each repeat: the previous repeat's
+                # ~100k-line list otherwise triggers GC mid-timing.
+                gc.collect()
+                result, wall, _cpu = _timed(
+                    lambda candidate=candidate: _sampling_replay(
+                        records, candidate
+                    )
+                )
+                if best_wall is None or wall < best_wall:
+                    best_wall, lines, sampler = wall, result, candidate
+            if rate >= 1.0:
+                identity_at_rate_1 = lines == baseline_lines
+            detect_sampler = build_sampler(spec, seed)
+            stream, detect_wall, _cpu = _timed(
+                lambda: detect_races_streaming(
+                    wal_dir=generated.wal_dir, sampler=detect_sampler
+                )
+            )
+            entries.append(
+                {
+                    "rate": rate,
+                    "policy": sampler.describe(),
+                    "records_kept": len(lines),
+                    "kept_ratio": round(len(lines) / max(len(records), 1), 4),
+                    "sampled_dropped": dict(sampler.dropped),
+                    "tracing": {
+                        "wall_seconds": best_wall,
+                        "records_per_second": round(
+                            len(records) / max(best_wall, 1e-9), 1
+                        ),
+                        "repeats": SAMPLING_BENCH_REPEATS,
+                    },
+                    "detection": {
+                        "wall_seconds": detect_wall,
+                        "candidates": len(stream.candidates),
+                        "confidence": stream.confidence,
+                        "planted_recall": recall(stream.candidate_seq_pairs()),
+                    },
+                }
+            )
+        walls = [entry["tracing"]["wall_seconds"] for entry in entries]
+        return {
+            "preset": preset,
+            "system": STREAM_BENCH_SYSTEM,
+            "seed": STREAM_BENCH_SEED,
+            "sampling_seed": seed,
+            "trace": {
+                "records": len(records),
+                "streams": generated.streams,
+                "planted_races": len(planted),
+            },
+            "baseline": {
+                "wall_seconds": baseline_wall,
+                "records": len(baseline_lines),
+            },
+            "identity_at_rate_1": identity_at_rate_1,
+            # rates sweep highest-first, so walls should be decreasing
+            "overhead_monotone_decreasing": all(
+                walls[i] >= walls[i + 1] for i in range(len(walls) - 1)
+            ),
+            "rates": entries,
+        }
+    finally:
+        shutil.rmtree(out_dir, ignore_errors=True)
+
+
+def bench_sampling_data(
+    presets, rates=SAMPLING_BENCH_RATES, seed: int = SAMPLING_BENCH_SEED
+) -> Dict[str, object]:
+    """The ``sampling`` block of ``BENCH_pipeline.json``."""
+    return {
+        "system": STREAM_BENCH_SYSTEM,
+        "seed": seed,
+        "rates": list(rates),
+        "presets": [
+            _guarded(
+                f"sampling-{preset}",
+                lambda preset=preset: _bench_sampling_one(preset, rates, seed),
+            )
+            for preset in presets
+        ],
+    }
 
 
 # -- machine-readable detection benchmark ------------------------------------------
@@ -805,6 +986,16 @@ def main(argv=None) -> int:
         help="also benchmark streaming vs batch vs chunked detection on "
         "generated workloads of these sizes (detect bench only)",
     )
+    parser.add_argument(
+        "--sampling",
+        nargs="+",
+        default=None,
+        choices=("small", "medium", "xl"),
+        metavar="PRESET",
+        help="also benchmark sampled tracing (overhead + planted-race "
+        "recall at rates 1.0/0.1/0.01) on generated workloads of these "
+        "sizes (pipeline bench only)",
+    )
     args = parser.parse_args(argv)
     if args.detect:
         path = write_bench_detect_json(
@@ -815,7 +1006,10 @@ def main(argv=None) -> int:
         )
     else:
         path = write_bench_json(
-            args.out or BENCH_JSON_PATH, args.bugs, args.trace_dir
+            args.out or BENCH_JSON_PATH,
+            args.bugs,
+            args.trace_dir,
+            args.sampling,
         )
     print(f"bench results written to {path}")
     return 0

@@ -99,6 +99,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         memory_budget_mb=args.memory_budget_mb,
         detect_mode=args.detect_mode,
         stream_window=args.stream_window,
+        sampling=args.sampling,
+        sampling_seed=args.sampling_seed,
     )
     result = DCatch(workload, config).run()
     print(result.summary())
@@ -201,7 +203,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     workload = workload_by_id(args.bug_id)
     cluster = workload.cluster(args.seed)
-    tracer = Tracer(scope=selective_scope_for(workload.modules()))
+    from repro.trace import build_sampler
+
+    tracer = Tracer(
+        scope=selective_scope_for(workload.modules()),
+        sampler=build_sampler(args.sampling, args.sampling_seed),
+    )
     tracer.bind(cluster)
     result = cluster.run()
     print(result.summary())
@@ -337,6 +344,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.detect.streaming import detect_races_streaming
+    from repro.trace import build_sampler
 
     result = detect_races_streaming(
         wal_dir=args.wal_dir,
@@ -345,6 +353,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         memory_budget_mb=args.memory_budget_mb,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        sampler=build_sampler(args.sampling, args.sampling_seed),
     )
     print(
         f"streamed {result.records_consumed} records in "
@@ -367,6 +376,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if result.damage:
         parts = ", ".join(f"{k}={v}" for k, v in sorted(result.damage.items()))
         print(f"  damage:     {parts}")
+    if result.sampled_dropped:
+        parts = ", ".join(
+            f"{k}={v}" for k, v in sorted(result.sampled_dropped.items())
+        )
+        print(f"  sampled out: {parts}")
 
     if args.ground_truth is None:
         return 0
@@ -392,6 +406,29 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print(f"  missed: {sample}", file=sys.stderr)
         return 1
     return 0
+
+
+def _add_sampling_flags(parser: argparse.ArgumentParser) -> None:
+    """Memory-access sampling knobs shared by ``run``/``trace``/``stream``."""
+    parser.add_argument(
+        "--sampling",
+        metavar="RATE|POLICY",
+        default=None,
+        help="sample the memory-access stream: a rate (0.1 = per-location "
+        "budget of 8 plus 10%% hash-rate keep) or a policy spec "
+        "(rate:R, budget:N, epoch:N:M, reservoir:K, composable with +). "
+        "HB/lock records are always kept; results carry "
+        "confidence=sampled",
+    )
+    parser.add_argument(
+        "--sampling-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        dest="sampling_seed",
+        help="seed for the sampling policy's deterministic hashing "
+        "(same policy+seed = same kept records)",
+    )
 
 
 def _add_analysis_flags(parser: argparse.ArgumentParser) -> None:
@@ -521,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="streaming mode: records between HB-frontier compaction "
         "passes (memory knob; candidates are window-independent)",
     )
+    _add_sampling_flags(run)
     _add_analysis_flags(run)
     run.set_defaults(fn=_cmd_run)
 
@@ -562,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="load a saved trace directory instead of running a benchmark",
     )
+    _add_sampling_flags(trace)
     trace.set_defaults(fn=_cmd_trace)
 
     salvage = sub.add_parser(
@@ -724,6 +763,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume from --checkpoint instead of starting over",
     )
+    _add_sampling_flags(stream)
     stream.set_defaults(fn=_cmd_stream)
 
     return parser

@@ -16,6 +16,8 @@ from repro.detect.export import (
 from repro.detect.lockset import LocksetIndex, LocksetSplit, split_by_lockset
 from repro.detect.races import Candidate, DetectionResult, detect_races
 from repro.detect.report import (
+    CONFIDENCE_LEVELS,
+    CONFIDENCE_RANK,
     SOUNDNESS_RANK,
     SOUNDNESS_TIERS,
     BugReport,
@@ -43,6 +45,8 @@ __all__ = [
     "Verdict",
     "SOUNDNESS_TIERS",
     "SOUNDNESS_RANK",
+    "CONFIDENCE_LEVELS",
+    "CONFIDENCE_RANK",
     "annotate_sync_preserving",
     "build_sp_graph",
     "detect_races_sync_preserving",

@@ -5,7 +5,10 @@ Schema history:
 * **version 1** (implicit — no ``format``/``version`` keys): a bare
   ``{"reports": [...]}`` document; reports carry no soundness tier.
 * **version 2**: adds ``format``/``version`` headers and a per-report
-  ``soundness`` tier (``repro.detect.report.SOUNDNESS_TIERS``).
+  ``soundness`` tier (``repro.detect.report.SOUNDNESS_TIERS``); the
+  ``confidence`` field gained a third value, ``"sampled"``, for reports
+  from deliberately-thinned traces (``repro.trace.sampling``) — an
+  additive change, so the version stays 2.
 
 ``load_reports`` accepts both: version-1 documents load with every
 report at the ``hb-predicted`` tier (which is exactly what they were —
@@ -18,6 +21,7 @@ import json
 from typing import Any, Dict, List
 
 from repro.detect.report import (
+    CONFIDENCE_LEVELS,
     SOUNDNESS_TIERS,
     BugReport,
     ReportSet,
@@ -61,7 +65,13 @@ def report_from_dict(data: Dict[str, Any]) -> BugReport:
     report = BugReport(report_id=data["report_id"], candidates=candidates)
     report.verdict = Verdict(data["verdict"])
     report.verdict_detail = data.get("verdict_detail", "")
-    report.confidence = data.get("confidence", "full")
+    confidence = data.get("confidence", "full")
+    if confidence not in CONFIDENCE_LEVELS:
+        raise TraceFormatError(
+            f"unknown report confidence {confidence!r}; "
+            f"expected one of {CONFIDENCE_LEVELS}"
+        )
+    report.confidence = confidence
     soundness = data.get("soundness", "hb-predicted")
     if soundness not in SOUNDNESS_TIERS:
         raise TraceFormatError(

@@ -345,5 +345,14 @@ def detect_races(
         workers=effective_workers,
         stopped_early=stopped_early,
         auto_decision=auto_decision,
-        confidence="partial" if getattr(graph, "partial", False) else "full",
+        # "sampled" wins over "partial": deliberate, rate-bounded loss is
+        # the weaker (and more specific) claim, and it is what the
+        # operator asked for with --sampling.
+        confidence=(
+            "sampled"
+            if getattr(trace, "sampled", False)
+            else "partial"
+            if getattr(graph, "partial", False)
+            else "full"
+        ),
     )

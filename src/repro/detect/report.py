@@ -43,6 +43,16 @@ SOUNDNESS_TIERS = ("hb-predicted", "sp-sound", "trigger-confirmed")
 
 SOUNDNESS_RANK = {tier: rank for rank, tier in enumerate(SOUNDNESS_TIERS)}
 
+#: Confidence levels, strongest first.  ``full``: every in-scope record
+#: was traced.  ``partial``: the trace was damaged and salvaged — loss
+#: is accidental and unquantified.  ``sampled``: the tracer thinned the
+#: memory-access stream *by policy* (``repro.trace.sampling``) — loss
+#: is deliberate and rate-bounded, but a missed access means a missed
+#: race, so sampled evidence ranks below both.
+CONFIDENCE_LEVELS = ("full", "partial", "sampled")
+
+CONFIDENCE_RANK = {level: rank for rank, level in enumerate(CONFIDENCE_LEVELS)}
+
 
 @dataclass
 class BugReport:
@@ -131,6 +141,13 @@ class ReportSet:
                     soundness=soundness,
                 )
             )
+        if detection.confidence == "sampled" and reports:
+            from repro import obs
+
+            obs.counter(
+                "detect_sampled_reports_total",
+                "bug reports produced from sampled traces",
+            ).inc(len(reports))
         return cls(reports)
 
     def __len__(self) -> int:

@@ -104,6 +104,9 @@ class StreamResult:
     streams_seen: int
     unmatched: Dict[str, int] = field(default_factory=dict)
     damage: Dict[str, int] = field(default_factory=dict)
+    #: Records dropped by the sampling filter, by record kind (empty
+    #: when no sampler was attached).
+    sampled_dropped: Dict[str, int] = field(default_factory=dict)
 
     @property
     def records_per_second(self) -> float:
@@ -478,8 +481,32 @@ def load_stream_checkpoint(path: str) -> Dict[str, object]:
     return doc
 
 
-def _stream_fingerprint(model: HBModel, window: int, source: str) -> str:
-    return f"{model.describe()}|window={window}|source={source}"
+def _stream_fingerprint(
+    model: HBModel, window: int, source: str, sampler: Optional[object] = None
+) -> str:
+    base = f"{model.describe()}|window={window}|source={source}"
+    if sampler is not None:
+        # Resuming a sampled pass under a different policy/seed would
+        # silently change which records the detector ever saw.
+        base += f"|sampling={sampler.describe()}"
+    return base
+
+
+def _sampled_stream(stream, sampler):
+    """Apply a ``repro.trace.sampling.Sampler`` to a record stream.
+
+    Pure filter: HB/lock records always pass, memory accesses pass when
+    the policy admits them.  Reservoir *evictions* cannot be honoured
+    here — an already-fed record is part of the detector state — so a
+    reservoir policy degrades to admit-only in streaming mode (first-K
+    plus probabilistic later admits).  Decisions are deterministic in
+    ``(policy, seed)``, which is what makes checkpoint resume (which
+    replays the raw stream through the same sampler) reproducible.
+    """
+    for event in stream:
+        keep, _evictions = sampler.observe(event)
+        if keep:
+            yield event
 
 
 # -- driver ----------------------------------------------------------------
@@ -497,6 +524,7 @@ def detect_races_streaming(
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 8,
     resume: bool = False,
+    sampler: Optional[object] = None,
 ) -> StreamResult:
     """One single-pass streaming detection run.
 
@@ -508,7 +536,10 @@ def detect_races_streaming(
     RSS crosses 90% of the budget — the detector degrades by compacting
     harder, never by abandoning.  ``checkpoint_path`` (with
     ``checkpoint_every`` windows between saves) makes the pass
-    resumable via ``resume=True``.
+    resumable via ``resume=True``.  ``sampler`` (a
+    ``repro.trace.sampling.Sampler``) thins the memory-access stream
+    before it reaches the detector — the streaming analog of sampled
+    tracing; results then carry ``confidence="sampled"``.
     """
     if (records is None) == (wal_dir is None):
         raise ValueError("pass exactly one of records= or wal_dir=")
@@ -516,7 +547,7 @@ def detect_races_streaming(
     damage: Counter = Counter()
     detector: Optional[StreamingDetector] = None
     source = os.path.abspath(wal_dir) if wal_dir is not None else "<records>"
-    fingerprint = _stream_fingerprint(model, window, source)
+    fingerprint = _stream_fingerprint(model, window, source, sampler)
     if resume:
         if checkpoint_path is None:
             raise CheckpointError("resume=True requires checkpoint_path")
@@ -544,6 +575,8 @@ def detect_races_streaming(
         )
     else:
         stream = iter(records)
+    if sampler is not None:
+        stream = _sampled_stream(stream, sampler)
 
     budget = StageBudget("stream", time.perf_counter(), max_seconds)
     rss_gauge = obs.gauge(_METRIC_RSS, "Streaming detector RSS high water")
@@ -598,6 +631,8 @@ def detect_races_streaming(
     confidence = "full"
     if damage or state.rootless_segments:
         confidence = "partial"
+    if sampler is not None and sampler.can_drop:
+        confidence = "sampled"  # deliberate loss wins over accidental
     return StreamResult(
         candidates=detector.candidates,
         records_consumed=detector.records_consumed,
@@ -614,4 +649,5 @@ def detect_races_streaming(
         streams_seen=state.stats()["streams_started"],
         unmatched=dict(state.unmatched),
         damage=dict(damage),
+        sampled_dropped=dict(sampler.dropped) if sampler is not None else {},
     )

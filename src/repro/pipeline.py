@@ -107,6 +107,19 @@ class PipelineConfig:
     #: so a node crashed mid-run leaves a salvageable prefix on disk.
     #: None (default) keeps tracing purely in memory — zero overhead.
     trace_dir: Optional[str] = None
+    #: Memory-access sampling policy for the monitored run
+    #: (``repro.trace.sampling`` spec: a bare rate like ``"0.1"`` for
+    #: the budgeted-rate composite, or ``"budget:N"``/``"rate:R"``/
+    #: ``"epoch:N:M"``/``"reservoir:K"``, composable with ``+``).  HB
+    #: and lock records are always kept; downstream results carry
+    #: ``confidence: "sampled"``.  None (default) traces every in-scope
+    #: access, byte-identical to the pre-sampling tracer.
+    sampling: Optional[str] = None
+    #: Seed for the sampling policy's deterministic hashing — same
+    #: ``(sampling, sampling_seed)`` means the same kept set, and both
+    #: join the checkpoint ``config_fingerprint`` so resume refuses a
+    #: cross-policy mix.
+    sampling_seed: int = 0
     #: Collect metrics and spans for this run (``repro.obs``).  When off,
     #: every instrumentation point hits the no-op registry/tracer and the
     #: result carries an empty ``metrics`` snapshot and no profile.
@@ -273,6 +286,16 @@ class DCatch:
                 f"unknown detect_mode {self.config.detect_mode!r}; "
                 f"expected one of {self.DETECT_MODES}"
             )
+        if self.config.sampling is not None:
+            from repro.trace.sampling import parse_policy
+
+            # Fail fast on a bad spec, before any stage has run.
+            parse_policy(self.config.sampling, self.config.sampling_seed)
+
+    def _make_sampler(self):
+        from repro.trace.sampling import build_sampler
+
+        return build_sampler(self.config.sampling, self.config.sampling_seed)
 
     # -- stages ----------------------------------------------------------------
 
@@ -309,7 +332,10 @@ class DCatch:
                 )
             )
         tracer = Tracer(
-            scope=self._make_scope(), name=self.workload.info.bug_id, wal=wal
+            scope=self._make_scope(),
+            name=self.workload.info.bug_id,
+            wal=wal,
+            sampler=self._make_sampler(),
         )
         tracer.bind(cluster)
         try:
@@ -452,6 +478,8 @@ class DCatch:
         detection = stream.to_detection(trace)
         if trace.partial and detection.confidence == "full":
             detection.confidence = "partial"
+        if getattr(trace, "sampled", False):
+            detection.confidence = "sampled"
         if store is not None and not detection.stopped_early:
             store.seal_stage("detect", ckpt.detection_payload(detection))
         stage_status["detect"] = (

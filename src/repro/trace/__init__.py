@@ -16,6 +16,18 @@ from repro.trace.records import (
     record_to_dict,
 )
 from repro.trace.salvage import SalvageReport, salvage_trace
+from repro.trace.sampling import (
+    Composite,
+    HashRate,
+    KeepAll,
+    PerEpochBudget,
+    PerLocationBudget,
+    Reservoir,
+    Sampler,
+    SamplingPolicy,
+    build_sampler,
+    parse_policy,
+)
 from repro.trace.scope import (
     FullScope,
     SelectiveScope,
@@ -40,6 +52,16 @@ __all__ = [
     "compute_stats",
     "publish_stats",
     "Tracer",
+    "SamplingPolicy",
+    "Sampler",
+    "KeepAll",
+    "HashRate",
+    "PerLocationBudget",
+    "PerEpochBudget",
+    "Reservoir",
+    "Composite",
+    "parse_policy",
+    "build_sampler",
     "TracingScope",
     "FullScope",
     "SelectiveScope",

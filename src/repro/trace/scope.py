@@ -82,11 +82,26 @@ class SelectiveScope(TracingScope):
 
 class _CommCallFinder(ast.NodeVisitor):
     """Does this function body contain a communication call — and which
-    other functions does it invoke (for the call-graph closure)?"""
+    other functions does it invoke (for the call-graph closure)?
+
+    Nested ``def``s are *not* descended into: their bodies run when the
+    nested function is called, not when the enclosing one does, so a
+    comm call inside a nested helper must not mark the outer function as
+    directly communicating.  (``ast.walk`` scans the nested def as its
+    own node.)  Instead the outer function gets a call-graph edge to the
+    nested name — both when it calls it and when it merely *passes* it
+    (``spawn(worker)``, ``Thread(target=worker)``), so the closure still
+    reaches functions that hand a comm closure to a thread."""
 
     def __init__(self) -> None:
         self.found = False
         self.called: Set[str] = set()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # scanned as its own call-graph node; defining is not using
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
@@ -103,6 +118,13 @@ class _CommCallFinder(ast.NodeVisitor):
                 self.found = True
             else:
                 self.called.add(func.id)
+        # Higher-order uses: a function passed as an argument may run in
+        # the callee's (or a spawned thread's) dynamic extent.
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Name):
+                self.called.add(arg.id)
+            elif isinstance(arg, ast.Attribute):
+                self.called.add(arg.attr)
         self.generic_visit(node)
 
 
@@ -149,24 +171,71 @@ def find_comm_functions_in_source(source: str) -> Set[str]:
     return _closure(direct, calls)
 
 
+def _closure_qualified(
+    direct: Set[tuple], calls: dict, defined_in: dict
+) -> Set[tuple]:
+    """Call-graph closure over ``(module, name)``-qualified nodes.
+
+    A bare callee name resolves to the same-module definition when one
+    exists (shadowing wins), otherwise to *every* module that defines
+    it — cross-module helpers still propagate, but two unrelated
+    same-named functions in different modules no longer collapse into
+    one call-graph node (which used to inflate the closure)."""
+    edges: dict = {}
+    for node, callees in calls.items():
+        module_index, _ = node
+        targets: Set[tuple] = set()
+        for callee in callees:
+            homes = defined_in.get(callee)
+            if not homes:
+                continue  # external / builtin
+            if module_index in homes:
+                targets.add((module_index, callee))
+            else:
+                targets.update((home, callee) for home in homes)
+        edges[node] = targets
+    result = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for node, targets in edges.items():
+            if node not in result and targets & result:
+                result.add(node)
+                changed = True
+    return result
+
+
+def find_comm_functions_in_sources(sources: Iterable[str]) -> Set[str]:
+    """Multi-source scan with per-module call-graph qualification."""
+    direct: Set[tuple] = set()
+    calls: dict = {}
+    defined_in: dict = {}
+    for module_index, source in enumerate(sources):
+        module_direct, module_calls = _scan_source(source)
+        for name in module_calls:
+            defined_in.setdefault(name, set()).add(module_index)
+        direct |= {(module_index, name) for name in module_direct}
+        for func, callees in module_calls.items():
+            calls.setdefault((module_index, func), set()).update(callees)
+    return {name for _, name in _closure_qualified(direct, calls, defined_in)}
+
+
 def find_comm_functions(modules: Iterable[ModuleType]) -> Set[str]:
     """Static pre-pass over system-under-test modules (the WALA analog).
 
-    The closure runs over all modules together, so a helper defined in
-    one module propagates to its callers in another.
+    The closure runs over all modules together — a helper defined in
+    one module propagates to its callers in another — but call-graph
+    nodes are qualified per module, so same-named functions in
+    different modules stay distinct.  The returned names are bare
+    (``SelectiveScope`` matches run-time frames by function name).
     """
-    direct: Set[str] = set()
-    calls: dict = {}
+    sources = []
     for module in modules:
         try:
-            source = inspect.getsource(module)
+            sources.append(inspect.getsource(module))
         except (OSError, TypeError):
             continue
-        module_direct, module_calls = _scan_source(source)
-        direct |= module_direct
-        for func, callees in module_calls.items():
-            calls.setdefault(func, set()).update(callees)
-    return _closure(direct, calls)
+    return find_comm_functions_in_sources(sources)
 
 
 def selective_scope_for(modules: Iterable[ModuleType]) -> SelectiveScope:

@@ -39,6 +39,21 @@ class TraceStats:
     lock_ops: int = 0
     #: Serialized bytes per category (one JSON line + newline per record).
     bytes_by_category: Dict[str, int] = field(default_factory=dict)
+    #: Memory accesses rejected by the scope policy (selective-tracing
+    #: loss — previously counted on the tracer but never surfaced).
+    dropped_mem: int = 0
+    #: Events skipped because their node was unknown to the tracer.
+    skipped_unbound: int = 0
+    #: Events skipped from untraced (substrate) nodes.
+    skipped_untraced: int = 0
+    #: True when the trace was deliberately thinned by a sampling policy.
+    sampled: bool = False
+    #: Nominal hash-rate of the sampling policy (None when purely
+    #: budgeted or when sampling is off).
+    sampling_rate: Optional[float] = None
+    #: Sampler drops by record kind (plus ``evicted`` for reservoir
+    #: replacements).
+    sampled_dropped: Dict[str, int] = field(default_factory=dict)
 
     def render(self) -> str:
         lines = [
@@ -56,7 +71,19 @@ class TraceStats:
             f"memory: {self.reads} reads / {self.writes} writes over "
             f"{self.mem_locations} locations",
             f"hb ops: {self.hb_ops}, lock ops: {self.lock_ops}",
+            f"dropped by scope: {self.dropped_mem} "
+            f"(skipped: {self.skipped_unbound} unbound, "
+            f"{self.skipped_untraced} untraced nodes)",
         ]
+        if self.sampled:
+            rate = "-" if self.sampling_rate is None else f"{self.sampling_rate:g}"
+            dropped = (
+                ", ".join(
+                    f"{k}={v}" for k, v in sorted(self.sampled_dropped.items())
+                )
+                or "none"
+            )
+            lines.append(f"sampling: rate={rate}, dropped: {dropped}")
         return "\n".join(lines)
 
 
@@ -102,6 +129,15 @@ def compute_stats(trace: Trace) -> TraceStats:
         hb_ops=hb_ops,
         lock_ops=lock_ops,
         bytes_by_category=bytes_by_category,
+        # Loss counters live on the trace (not the tracer) so they
+        # survive checkpoints and process boundaries; old pickles may
+        # lack them, hence the getattr defaults.
+        dropped_mem=getattr(trace, "dropped_mem", 0),
+        skipped_unbound=getattr(trace, "skipped_unbound", 0),
+        skipped_untraced=getattr(trace, "skipped_untraced", 0),
+        sampled=bool(getattr(trace, "sampled", False)),
+        sampling_rate=getattr(trace, "sampling_rate", None),
+        sampled_dropped=dict(getattr(trace, "sampled_dropped", {}) or {}),
     )
 
 
@@ -133,6 +169,28 @@ def publish_stats(stats: TraceStats, registry: Optional[object] = None) -> None:
     reg.gauge("trace_lock_ops", "lock acquire/release records").set(
         stats.lock_ops
     )
+    reg.gauge(
+        "trace_dropped_mem_total",
+        "memory accesses rejected by the scope policy",
+    ).set(stats.dropped_mem)
+    reg.gauge(
+        "trace_skipped_unbound_total",
+        "events skipped because their node was unknown to the tracer",
+    ).set(stats.skipped_unbound)
+    reg.gauge(
+        "trace_skipped_untraced_total",
+        "events skipped from untraced substrate nodes",
+    ).set(stats.skipped_untraced)
+    # 1.0 when sampling is off (or purely budgeted): "no rate cut".
+    reg.gauge(
+        "trace_sampling_rate", "nominal hash-rate of the sampling policy"
+    ).set(stats.sampling_rate if stats.sampling_rate is not None else 1.0)
+    sampled_dropped = reg.gauge(
+        "trace_sampled_dropped_total",
+        "records dropped by the sampling policy, by record kind",
+    )
+    for kind, count in sorted(stats.sampled_dropped.items()):
+        sampled_dropped.labels(kind=kind).set(count)
     records_by_cat = reg.gauge(
         "trace_records_by_category", "records per Table 7 category"
     )

@@ -30,6 +30,26 @@ class Trace:
         self.partial = False
         #: The ``SalvageReport`` that produced this trace, if any.
         self.salvage_report = None
+        #: True when the tracer *deliberately* thinned the memory-access
+        #: stream (``repro.trace.sampling``).  Downstream results carry
+        #: ``confidence: "sampled"`` — weaker than ``"partial"`` because
+        #: the loss is by policy, not by accident.
+        self.sampled = False
+        #: Nominal hash-rate of the sampling policy (None when purely
+        #: budgeted, or when sampling is off).
+        self.sampling_rate: Optional[float] = None
+        #: Drops by record kind (plus ``evicted``) from the sampler —
+        #: shared with ``Sampler.dropped`` when a sampler is attached.
+        self.sampled_dropped: Dict[str, int] = {}
+        #: Memory accesses rejected by the scope policy (selective
+        #: tracing loss — distinct from sampling loss).
+        self.dropped_mem = 0
+        #: Events skipped because their node was absent from the bound
+        #: cluster dict (pre-``bind()`` emission or unknown substrate).
+        self.skipped_unbound = 0
+        #: Events skipped from nodes marked untraced (the uninstrumented
+        #: coordination-service contract).
+        self.skipped_untraced = 0
 
     def append(self, event: OpEvent) -> None:
         # Records are *emitted* slightly out of order (a thread records its
@@ -54,6 +74,25 @@ class Trace:
     def of_kind(self, *kinds: OpKind) -> List[OpEvent]:
         wanted = set(kinds)
         return [r for r in self.records if r.kind in wanted]
+
+    def remove_seq(self, seq: int) -> Optional[OpEvent]:
+        """Drop a previously-appended record (reservoir eviction).
+
+        Returns the removed record, or None if ``seq`` is not present.
+        An attached WAL is *not* rewritten — the on-disk log stays a
+        superset of the in-memory sample.
+        """
+        index = bisect.bisect_left(self.records, seq, key=lambda r: r.seq)
+        if index >= len(self.records) or self.records[index].seq != seq:
+            return None
+        record = self.records.pop(index)
+        thread = self._by_thread.get(record.tid)
+        if thread is not None:
+            try:
+                thread.remove(record)
+            except ValueError:
+                pass
+        return record
 
     def by_seq(self, seq: int) -> Optional[OpEvent]:
         lo, hi = 0, len(self.records) - 1
@@ -101,15 +140,30 @@ class Trace:
         return trace
 
     def save(self, directory: str) -> None:
+        import json
         import os
 
         os.makedirs(directory, exist_ok=True)
         for tid, blob in self.dump_thread_files().items():
             with open(os.path.join(directory, f"thread-{tid}.jsonl"), "w") as fh:
                 fh.write(blob)
+        # Loss metadata lives beside the records: the counters are not
+        # derivable from the surviving records, and stats computed from
+        # a reloaded trace must match the original.
+        meta = {
+            "sampled": self.sampled,
+            "sampling_rate": self.sampling_rate,
+            "sampled_dropped": self.sampled_dropped,
+            "dropped_mem": self.dropped_mem,
+            "skipped_unbound": self.skipped_unbound,
+            "skipped_untraced": self.skipped_untraced,
+        }
+        with open(os.path.join(directory, "meta.json"), "w") as fh:
+            json.dump(meta, fh, indent=2, sort_keys=True)
 
     @classmethod
     def load(cls, directory: str, name: str = "trace") -> "Trace":
+        import json
         import os
 
         files = {}
@@ -118,4 +172,15 @@ class Trace:
                 tid = int(entry[len("thread-"):-len(".jsonl")])
                 with open(os.path.join(directory, entry)) as fh:
                     files[tid] = fh.read()
-        return cls.from_thread_files(files, name)
+        trace = cls.from_thread_files(files, name)
+        meta_path = os.path.join(directory, "meta.json")
+        if os.path.exists(meta_path):  # pre-sampling saves have no meta
+            with open(meta_path) as fh:
+                meta = json.load(fh)
+            trace.sampled = bool(meta.get("sampled", False))
+            trace.sampling_rate = meta.get("sampling_rate")
+            trace.sampled_dropped = dict(meta.get("sampled_dropped", {}))
+            trace.dropped_mem = int(meta.get("dropped_mem", 0))
+            trace.skipped_unbound = int(meta.get("skipped_unbound", 0))
+            trace.skipped_untraced = int(meta.get("skipped_untraced", 0))
+        return trace

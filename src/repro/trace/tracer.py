@@ -4,10 +4,18 @@ An ``Interceptor`` installed on a cluster.  It records:
 
 * every HB-related operation (Table 2) from traced nodes;
 * lock/unlock operations (needed by the trigger module, Section 5.2);
-* memory accesses *subject to the scope policy* — selective by default.
+* memory accesses *subject to the scope policy* — selective by default —
+  and, when a :class:`repro.trace.sampling.Sampler` is attached, further
+  thinned by the sampling policy (``scope`` and ``sampler`` compose:
+  scope decides *eligibility*, the sampler decides *budget*).
 
 Nodes marked untraced (the coordination-service substrate) contribute no
-records at all, mirroring the paper's uninstrumented ZooKeeper.
+records at all, mirroring the paper's uninstrumented ZooKeeper.  Events
+from nodes the tracer has never been told about — emitted before
+``bind()`` or by unknown substrate — are likewise **skipped**, not
+traced: an uninstrumented process cannot produce records.  Both skip
+classes are counted (``trace.skipped_untraced`` / ``skipped_unbound``)
+so silent loss is visible in ``trace --stats``.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import time
 from typing import Optional
 
 from repro.runtime.ops import Interceptor, LOCK_KINDS, MEM_KINDS, OpEvent
+from repro.trace.sampling import Sampler
 from repro.trace.scope import FullScope, TracingScope
 from repro.trace.store import Trace
 
@@ -28,29 +37,59 @@ class Tracer(Interceptor):
         scope: Optional[TracingScope] = None,
         name: str = "trace",
         wal: Optional["object"] = None,
+        sampler: Optional[Sampler] = None,
     ) -> None:
         self.scope = scope or FullScope()
         self.trace = Trace(name)
         self.enabled = True
-        self.dropped_mem = 0  # accesses skipped by the scope policy
         self.overhead_seconds = 0.0
         #: Optional durable sink (``repro.trace.wal.WalSink``): every
         #: recorded event is also appended to per-node/per-thread logs
         #: on disk, so a crash leaves a salvageable prefix.  None (the
         #: default) is the pure in-memory path with zero extra work.
         self.wal = wal
+        #: Optional memory-access sampler.  The drop-counter dict is
+        #: shared with the trace so stats computed from the trace alone
+        #: (after checkpoints, across process boundaries) still see it.
+        self.sampler = sampler
+        if sampler is not None and sampler.can_drop:
+            self.trace.sampled = True
+            self.trace.sampling_rate = sampler.nominal_rate()
+            self.trace.sampled_dropped = sampler.dropped
         self._nodes: dict = {}
+
+    @property
+    def dropped_mem(self) -> int:
+        """Accesses rejected by the scope policy (lives on the trace so
+        stats survive serialization boundaries)."""
+        return self.trace.dropped_mem
 
     def after(self, event: OpEvent) -> None:
         if not self.enabled:
             return
         started = time.perf_counter()
         try:
-            if not self._node_traced(event):
+            node = self._nodes.get(event.node)
+            if node is None:
+                # Never bound, or an unknown node: an uninstrumented
+                # process produces no records (same contract as the
+                # untraced substrate) — but count it, silence here has
+                # hidden real wiring bugs.
+                self.trace.skipped_unbound += 1
                 return
-            if event.kind in MEM_KINDS and not self.scope.should_trace_mem(event):
-                self.dropped_mem += 1
+            if not node.traced:
+                self.trace.skipped_untraced += 1
                 return
+            if event.kind in MEM_KINDS:
+                if not self.scope.should_trace_mem(event):
+                    self.trace.dropped_mem += 1
+                    return
+                if self.sampler is not None:
+                    keep, evictions = self.sampler.observe(event)
+                    for seq in evictions:
+                        self.trace.remove_seq(seq)
+                    if not keep:
+                        return
             self.trace.append(event)
             if self.wal is not None:
                 self.wal.append(event)
@@ -69,7 +108,7 @@ class Tracer(Interceptor):
 
     def _node_traced(self, event: OpEvent) -> bool:
         node = self._nodes.get(event.node)
-        return node.traced if node is not None else True
+        return bool(node is not None and node.traced)
 
     def bind(self, cluster: "object") -> "Tracer":
         """Attach to a cluster (learns which nodes are traced).

@@ -37,13 +37,20 @@ def prioritize_reports(reports) -> List[BugReport]:
     reordering that produces the race — so they are the likeliest to
     enforce and the first to spend re-execution budget on; under a
     stage deadline the reports left UNKNOWN are the weakest ones.
-    Stable by report id within a tier, so pipelines without the SP tier
-    keep their historical trigger order exactly."""
-    from repro.detect.report import SOUNDNESS_RANK
+    Within a soundness tier, full-confidence reports go before partial
+    and sampled ones (a sampled trace may have lost the evidence that
+    would make the enforcement succeed).  Stable by report id within a
+    tier, so pipelines without the SP tier keep their historical
+    trigger order exactly."""
+    from repro.detect.report import CONFIDENCE_RANK, SOUNDNESS_RANK
 
     return sorted(
         reports,
-        key=lambda r: (-SOUNDNESS_RANK.get(r.soundness, 0), r.report_id),
+        key=lambda r: (
+            -SOUNDNESS_RANK.get(r.soundness, 0),
+            CONFIDENCE_RANK.get(getattr(r, "confidence", "full"), 0),
+            r.report_id,
+        ),
     )
 
 

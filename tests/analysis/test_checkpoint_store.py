@@ -192,3 +192,22 @@ def test_shard_log_registered_incomplete_in_manifest(tmp_path):
     assert not store.stage_completed("detect")
     resumed = _store(tmp_path, resume=True)
     assert [e["index"] for e in resumed.load_shards("detect")] == [0]
+
+
+def test_config_fingerprint_tracks_sampling_policy():
+    """Resuming a sampled run under a different policy/seed would feed
+    the detector a different record set; sampling off must keep the
+    pre-sampling fingerprint so old checkpoints stay resumable."""
+    from repro.analysis.checkpoint import config_fingerprint
+    from repro.pipeline import PipelineConfig
+
+    def fp(**kwargs):
+        return config_fingerprint("ZK-1144", PipelineConfig(**kwargs))
+
+    assert fp() == fp(sampling=None)
+    assert fp(sampling="0.1") != fp()
+    assert fp(sampling="0.1") != fp(sampling="0.5")
+    assert fp(sampling="0.1", sampling_seed=1) != fp(
+        sampling="0.1", sampling_seed=2
+    )
+    assert fp(sampling="0.1") == fp(sampling="0.1")

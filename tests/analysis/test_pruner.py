@@ -77,3 +77,38 @@ def test_decisions_cover_all_reports(mr3274_artifacts):
     for decision in result.decisions:
         if decision.keep:
             assert decision.reasons
+
+
+def test_rank_orders_soundness_then_confidence():
+    from repro.analysis.pruner import rank_reports
+    from repro.detect.report import BugReport
+
+    def report(rid, soundness, confidence):
+        return BugReport(
+            report_id=rid,
+            candidates=[],
+            soundness=soundness,
+            confidence=confidence,
+        )
+
+    ranked = rank_reports(
+        [
+            report(1, "hb-predicted", "sampled"),
+            report(2, "sp-sound", "sampled"),
+            report(3, "hb-predicted", "full"),
+            report(4, "sp-sound", "full"),
+            report(5, "hb-predicted", "partial"),
+        ]
+    )
+    assert [r.report_id for r in ranked] == [4, 2, 3, 5, 1]
+
+
+def test_rank_stable_by_id_within_tier():
+    from repro.analysis.pruner import rank_reports
+    from repro.detect.report import BugReport
+
+    reports = [
+        BugReport(report_id=rid, candidates=[], confidence="sampled")
+        for rid in (3, 1, 2)
+    ]
+    assert [r.report_id for r in rank_reports(reports)] == [1, 2, 3]

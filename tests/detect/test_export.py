@@ -95,3 +95,18 @@ def test_wrong_format_or_future_version_rejected():
         load_reports(json.dumps({**payload, "format": "not-reports"}))
     with pytest.raises(TraceFormatError):
         load_reports(json.dumps({**payload, "version": 99}))
+
+
+def test_roundtrip_preserves_sampled_confidence():
+    reports = _reports()
+    for report in reports.reports:
+        report.confidence = "sampled"
+    restored = load_reports(dump_reports(reports))
+    assert all(r.confidence == "sampled" for r in restored.reports)
+
+
+def test_unknown_confidence_rejected():
+    payload = json.loads(dump_reports(_reports()))
+    payload["reports"][0]["confidence"] = "vibes"
+    with pytest.raises(TraceFormatError):
+        load_reports(json.dumps(payload))

@@ -253,3 +253,68 @@ def test_feed_api_snapshot_roundtrip(small_workload):
     assert {
         frozenset(p) for p in _pair_set(detector.candidates)
     } == _planted_set(small_workload)
+
+
+def test_streaming_with_sampler_marks_sampled(small_workload):
+    from repro.trace.sampling import build_sampler
+
+    result = detect_races_streaming(
+        wal_dir=small_workload.wal_dir,
+        window=64,
+        sampler=build_sampler("rate:0.0"),
+    )
+    # All memory accesses were cut; the HB stream still parsed whole.
+    assert result.confidence == "sampled"
+    assert not result.candidates
+    assert result.sampled_dropped
+    assert set(result.sampled_dropped) <= {"mem_read", "mem_write"}
+
+
+def test_streaming_budgeted_sampling_keeps_planted_races(small_workload):
+    from repro.trace.sampling import build_sampler
+
+    result = detect_races_streaming(
+        wal_dir=small_workload.wal_dir,
+        window=64,
+        sampler=build_sampler("0.1"),
+    )
+    assert result.confidence == "sampled"
+    found = {frozenset(p) for p in result.candidate_seq_pairs()}
+    # The per-location budget keeps cold (racing) locations whole.
+    assert found >= _planted_set(small_workload)
+
+
+def test_streaming_rate_one_sampler_is_noop(small_workload):
+    from repro.trace.sampling import build_sampler
+
+    plain = detect_races_streaming(wal_dir=small_workload.wal_dir, window=64)
+    sampled = detect_races_streaming(
+        wal_dir=small_workload.wal_dir,
+        window=64,
+        sampler=build_sampler("1.0"),
+    )
+    assert sampled.confidence == "full"
+    assert sampled.candidate_seq_pairs() == plain.candidate_seq_pairs()
+    assert sampled.records_consumed == plain.records_consumed
+
+
+def test_resume_rejects_different_sampling_policy(small_workload, tmp_path):
+    from repro.trace.sampling import build_sampler
+
+    ckpt = str(tmp_path / "stream.ckpt")
+    detect_races_streaming(
+        wal_dir=small_workload.wal_dir,
+        window=32,
+        sampler=build_sampler("0.5", seed=1),
+        checkpoint_path=ckpt,
+        checkpoint_every=1,
+        should_stop=lambda: True,
+    )
+    with pytest.raises(CheckpointError):
+        detect_races_streaming(
+            wal_dir=small_workload.wal_dir,
+            window=32,
+            sampler=build_sampler("0.5", seed=2),  # different seed
+            checkpoint_path=ckpt,
+            resume=True,
+        )

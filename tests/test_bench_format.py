@@ -91,3 +91,28 @@ def test_bench_pipeline_entry_has_checkpoint_block():
         "prune",
         "trigger",
     }
+
+
+def test_sampling_bench_block_shape():
+    """The ``sampling`` block of BENCH_pipeline.json: per-preset rate
+    sweep with recall, kept counts, and the rate-1.0 identity check."""
+    from repro.bench.runner import bench_sampling_data
+
+    doc = bench_sampling_data(["small"], rates=(1.0, 0.5))
+    assert doc["rates"] == [1.0, 0.5]
+    assert doc["system"] == "minimr"
+    (preset,) = doc["presets"]
+    assert preset["preset"] == "small"
+    assert preset["identity_at_rate_1"] is True
+    assert preset["trace"]["planted_races"] > 0
+    assert len(preset["rates"]) == 2
+    full, half = preset["rates"]
+    assert full["rate"] == 1.0
+    assert full["detection"]["planted_recall"] == 1.0
+    assert full["detection"]["confidence"] == "full"
+    assert full["records_kept"] == preset["trace"]["records"]
+    assert half["records_kept"] <= full["records_kept"]
+    assert half["detection"]["confidence"] == "sampled"
+    for entry in preset["rates"]:
+        assert entry["tracing"]["wall_seconds"] > 0
+        assert 0.0 <= entry["detection"]["planted_recall"] <= 1.0

@@ -1,0 +1,265 @@
+"""Sampling policies and the sampled tracer (production tracing)."""
+
+import pytest
+
+from repro.ids import CallStack
+from repro.runtime import Cluster, OpKind, sleep
+from repro.runtime.ops import MEM_KINDS, OpEvent
+from repro.trace import (
+    Composite,
+    FullScope,
+    HashRate,
+    KeepAll,
+    PerEpochBudget,
+    PerLocationBudget,
+    Reservoir,
+    Trace,
+    Tracer,
+    build_sampler,
+    parse_policy,
+)
+
+
+def _mem(seq, loc="x", kind=OpKind.MEM_WRITE, tid=0):
+    return OpEvent(
+        seq=seq,
+        kind=kind,
+        obj_id=loc,
+        node="n",
+        tid=tid,
+        thread_name=f"t{tid}",
+        segment=tid,
+        callstack=CallStack(),
+        location=(1, loc),
+    )
+
+
+def _lock(seq, tid=0):
+    return OpEvent(
+        seq=seq,
+        kind=OpKind.LOCK_ACQUIRE,
+        obj_id="l",
+        node="n",
+        tid=tid,
+        thread_name=f"t{tid}",
+        segment=tid,
+        callstack=CallStack(),
+    )
+
+
+# -- policy unit behavior -----------------------------------------------------
+
+
+def test_hash_rate_deterministic_and_seed_sensitive():
+    events = [_mem(i, loc=f"x{i % 7}") for i in range(200)]
+    first = [HashRate(0.3, seed=1).admit(e) for e in events]
+    second = [HashRate(0.3, seed=1).admit(e) for e in events]
+    other_seed = [HashRate(0.3, seed=2).admit(e) for e in events]
+    assert first == second
+    assert first != other_seed
+    # Rough proportionality: keeps a minority, not none.
+    assert 0 < sum(first) < len(events)
+
+
+def test_hash_rate_bounds():
+    with pytest.raises(ValueError):
+        HashRate(1.5)
+    with pytest.raises(ValueError):
+        HashRate(-0.1)
+    assert not any(HashRate(0.0).admit(_mem(i)) for i in range(50))
+
+
+def test_per_location_budget_keeps_prefix_per_location():
+    policy = PerLocationBudget(2)
+    hot = [policy.admit(_mem(i, loc="hot")) for i in range(5)]
+    cold = [policy.admit(_mem(100 + i, loc="cold")) for i in range(2)]
+    assert hot == [True, True, False, False, False]
+    assert cold == [True, True]
+
+
+def test_per_epoch_budget_resets_each_epoch():
+    policy = PerEpochBudget(budget=2, epoch_records=4)
+    decisions = [policy.admit(_mem(i)) for i in range(8)]
+    assert decisions == [True, True, False, False, True, True, False, False]
+
+
+def test_reservoir_caps_sample_and_reports_evictions():
+    policy = Reservoir(capacity=2, seed=0)
+    kept = set()
+    for i in range(20):
+        if policy.admit(_mem(i, loc="hot")):
+            kept.add(i)
+        for seq in policy.pop_evictions():
+            kept.remove(seq)
+    assert len(kept) == 2
+    # Replacement means the sample is not simply the first two.
+    assert kept != {0, 1}
+    # Determinism: the same run again picks the same sample.
+    again = set()
+    policy2 = Reservoir(capacity=2, seed=0)
+    for i in range(20):
+        if policy2.admit(_mem(i, loc="hot")):
+            again.add(i)
+        for seq in policy2.pop_evictions():
+            again.remove(seq)
+    assert again == kept
+
+
+def test_composite_is_union_and_pins_against_eviction():
+    # budget admits seqs 0-1; the reservoir would later evict its early
+    # picks, but those admitted by the budget are pinned.
+    policy = Composite([PerLocationBudget(2), Reservoir(1, seed=0)])
+    kept = set()
+    for i in range(30):
+        if policy.admit(_mem(i, loc="hot")):
+            kept.add(i)
+        for seq in policy.pop_evictions():
+            kept.discard(seq)
+    assert 0 in kept and 1 in kept  # budget sample survives whole
+
+
+def test_keep_all_cannot_drop():
+    assert KeepAll().can_drop is False
+    assert Composite([KeepAll()]).can_drop is False
+    assert Composite([KeepAll(), HashRate(0.5)]).can_drop is True
+
+
+# -- spec parsing -------------------------------------------------------------
+
+
+def test_bare_rate_builds_budgeted_composite():
+    policy = parse_policy("0.1", seed=3)
+    assert isinstance(policy, Composite)
+    kinds = [p.kind for p in policy.policies]
+    assert kinds == ["budget", "rate"]
+    assert policy.describe() == "budget:8+rate:0.1"
+
+
+def test_rate_one_is_keep_all():
+    assert isinstance(parse_policy("1.0"), KeepAll)
+    assert isinstance(parse_policy("rate:1"), KeepAll)
+    assert isinstance(parse_policy("all"), KeepAll)
+
+
+def test_term_grammar():
+    assert parse_policy("rate:0.25").describe() == "rate:0.25"
+    assert parse_policy("budget:16").describe() == "budget:16"
+    assert parse_policy("epoch:500:8192").describe() == "epoch:500:8192"
+    assert parse_policy("reservoir:8").describe() == "reservoir:8"
+    composed = parse_policy("budget:4+rate:0.05")
+    assert composed.describe() == "budget:4+rate:0.05"
+
+
+@pytest.mark.parametrize(
+    "spec", ["", "2.0", "-0.5", "bogus", "rate:x", "epoch:5", "budget:0"]
+)
+def test_bad_specs_rejected(spec):
+    with pytest.raises(ValueError):
+        parse_policy(spec)
+
+
+def test_build_sampler_off_for_empty_spec():
+    assert build_sampler(None) is None
+    assert build_sampler("") is None
+    sampler = build_sampler("0.5", seed=7)
+    assert sampler is not None
+    assert sampler.describe() == "budget:8+rate:0.5@seed=7"
+
+
+# -- sampler wrapper ----------------------------------------------------------
+
+
+def test_sampler_passes_non_mem_and_counts_drops():
+    sampler = build_sampler("rate:0.0")
+    keep, evictions = sampler.observe(_lock(0))
+    assert keep and not evictions
+    keep, _ = sampler.observe(_mem(1, kind=OpKind.MEM_READ))
+    assert not keep
+    keep, _ = sampler.observe(_mem(2, kind=OpKind.MEM_WRITE))
+    assert not keep
+    assert sampler.dropped == {"mem_read": 1, "mem_write": 1}
+    assert sampler.kept == 0
+
+
+def test_nominal_rate_surfaces_hash_component():
+    assert build_sampler("0.1").nominal_rate() == 0.1
+    assert build_sampler("1.0").nominal_rate() == 1.0
+    assert build_sampler("budget:8").nominal_rate() is None
+
+
+# -- tracer integration -------------------------------------------------------
+
+
+def _run_workload(sampler=None, seed=0):
+    cluster = Cluster(seed=seed)
+    tracer = Tracer(scope=FullScope(), sampler=sampler).bind(cluster)
+    node = cluster.add_node("n")
+    var = node.shared_var("x", 0)
+    other = node.shared_var("y", 0)
+
+    def writer():
+        for i in range(10):
+            var.set(i)
+            other.set(i)
+
+    def reader():
+        while var.get() < 9:
+            sleep(1)
+
+    node.spawn(writer, name="w")
+    node.spawn(reader, name="r")
+    cluster.run()
+    return tracer
+
+
+def test_sampled_trace_marks_confidence_metadata():
+    tracer = _run_workload(sampler=build_sampler("rate:0.0"))
+    trace = tracer.trace
+    assert trace.sampled is True
+    assert trace.sampling_rate == 0.0
+    assert not trace.mem_accesses()
+    # HB records are untouched: thread lifecycle is still complete.
+    assert trace.of_kind(OpKind.THREAD_BEGIN)
+    assert trace.sampled_dropped["mem_write"] >= 1
+    assert trace.sampled_dropped["mem_read"] >= 1
+
+
+def test_rate_one_tracer_output_byte_identical():
+    plain = _run_workload(sampler=None)
+    sampled = _run_workload(sampler=build_sampler("1.0"))
+    assert sampled.trace.sampled is False
+    assert sampled.trace.dump_thread_files() == plain.trace.dump_thread_files()
+
+
+def test_fixed_policy_and_seed_reproduce_identical_traces():
+    first = _run_workload(sampler=build_sampler("0.3", seed=5))
+    second = _run_workload(sampler=build_sampler("0.3", seed=5))
+    assert first.trace.dump_thread_files() == second.trace.dump_thread_files()
+
+
+def test_reservoir_evictions_removed_from_trace():
+    sampler = build_sampler("reservoir:1")
+    tracer = _run_workload(sampler=sampler)
+    trace = tracer.trace
+    per_loc = {}
+    for record in trace.mem_accesses():
+        per_loc.setdefault(record.location, []).append(record.seq)
+    assert per_loc  # something survived
+    assert all(len(seqs) == 1 for seqs in per_loc.values())
+    assert trace.sampled_dropped.get("evicted", 0) >= 1
+    # The evicted seqs are gone from the per-thread views too.
+    files = trace.dump_thread_files()
+    total = sum(
+        len([line for line in text.splitlines() if line])
+        for text in files.values()
+    )
+    assert total == len(trace)
+
+
+def test_remove_seq_unknown_is_noop():
+    trace = Trace(name="t")
+    trace.append(_mem(3))
+    assert trace.remove_seq(99) is None
+    removed = trace.remove_seq(3)
+    assert removed is not None and removed.seq == 3
+    assert len(trace) == 0

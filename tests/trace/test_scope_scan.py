@@ -39,8 +39,34 @@ def test_nested_functions_scanned():
     )
     funcs = find_comm_functions_in_source(source)
     assert "inner" in funcs
-    # outer's own body includes inner's def, so the scan sees the call.
-    assert "outer" in funcs
+    # inner's body runs when *inner* is called, not when outer is:
+    # merely defining (and returning) a comm helper does not make the
+    # enclosing function communicate.
+    assert "outer" not in funcs
+
+
+def test_nested_function_called_marks_outer_via_closure():
+    source = (
+        "def outer(node):\n"
+        "    def inner():\n"
+        "        node.send('b', 'v', 1)\n"
+        "    inner()\n"
+    )
+    funcs = find_comm_functions_in_source(source)
+    assert funcs == {"inner", "outer"}
+
+
+def test_nested_function_spawned_marks_outer_via_closure():
+    """Handing a comm closure to a thread counts as an edge: the
+    spawn-site's own accesses are part of the handoff."""
+    source = (
+        "def start_churn(self):\n"
+        "    def churn():\n"
+        "        self.node.send('b', 'v', 1)\n"
+        "    self.node.spawn(churn)\n"
+    )
+    funcs = find_comm_functions_in_source(source)
+    assert funcs == {"churn", "start_churn"}
 
 
 def test_pure_computation_not_marked():
@@ -94,3 +120,34 @@ def test_helper_indirection_marks_caller():
     assert "_am" in funcs
     assert "poll" in funcs
     assert "unrelated" not in funcs
+
+
+def test_cross_module_name_collision_stays_distinct():
+    """Same-named functions in different modules are separate
+    call-graph nodes: calling module A's silent ``helper`` must not
+    inherit comm-ness from module B's same-named comm ``helper``."""
+    from repro.trace.scope import find_comm_functions_in_sources
+
+    module_a = (
+        "def helper(x):\n"
+        "    return x + 1\n"
+        "\n"
+        "def caller(x):\n"
+        "    return helper(x)\n"
+    )
+    module_b = "def helper(node):\n    node.send('b', 'v', 1)\n"
+    funcs = find_comm_functions_in_sources([module_a, module_b])
+    # B's helper communicates; A's caller resolves to A's silent helper.
+    assert "helper" in funcs
+    assert "caller" not in funcs
+
+
+def test_cross_module_helper_still_propagates():
+    """The qualified closure keeps the legitimate cross-module case: a
+    helper defined only in another module marks its callers."""
+    from repro.trace.scope import find_comm_functions_in_sources
+
+    module_a = "def caller(node):\n    return shared_rpc(node)\n"
+    module_b = "def shared_rpc(node):\n    return node.rpc('b')\n"
+    funcs = find_comm_functions_in_sources([module_a, module_b])
+    assert funcs == {"caller", "shared_rpc"}

@@ -84,3 +84,56 @@ def test_publish_stats_mirrors_into_registry():
     by_cat = snap["trace_bytes_by_category"]["series"]
     for category, size in stats.bytes_by_category.items():
         assert by_cat[f"category={category}"]["value"] == size
+
+
+def test_scope_drops_surface_in_stats_and_metrics():
+    from repro.obs import MetricsRegistry
+    from repro.trace import SelectiveScope, publish_stats
+
+    cluster = Cluster(seed=0)
+    tracer = Tracer(scope=SelectiveScope(comm_functions=set())).bind(cluster)
+    node = cluster.add_node("n")
+    var = node.shared_var("x", 0)
+
+    def main():
+        var.get()  # outside any handler: dropped by the scope
+        var.set(1)
+
+    node.spawn(main, name="main")
+    cluster.run()
+
+    stats = compute_stats(tracer.trace)
+    assert stats.dropped_mem >= 1
+    text = stats.render()
+    assert f"dropped by scope: {stats.dropped_mem}" in text
+
+    registry = MetricsRegistry()
+    publish_stats(stats, registry)
+    snap = registry.snapshot()
+    assert snap["trace_dropped_mem_total"]["value"] == stats.dropped_mem
+    assert snap["trace_skipped_unbound_total"]["value"] == 0
+    assert snap["trace_skipped_untraced_total"]["value"] == 0
+
+
+def test_sampling_stats_surface_rate_and_drop_kinds():
+    from repro.obs import MetricsRegistry
+    from repro.trace import build_sampler, publish_stats
+
+    cluster = Cluster(seed=0)
+    sampler = build_sampler("rate:0.0")
+    tracer = Tracer(scope=FullScope(), sampler=sampler).bind(cluster)
+    node = cluster.add_node("n")
+    var = node.shared_var("x", 0)
+    node.spawn(lambda: var.set(1), name="w")
+    cluster.run()
+
+    stats = compute_stats(tracer.trace)
+    assert stats.sampled is True
+    assert "sampling: rate=0," in stats.render()
+
+    registry = MetricsRegistry()
+    publish_stats(stats, registry)
+    snap = registry.snapshot()
+    assert snap["trace_sampling_rate"]["value"] == 0.0
+    series = snap["trace_sampled_dropped_total"]["series"]
+    assert series["kind=mem_write"]["value"] >= 1

@@ -169,3 +169,43 @@ def test_trace_size_and_categories():
     assert counts["mem"] >= 1
     assert counts["thread"] >= 2
     assert tracer.trace.size_bytes() > 0
+
+
+def test_unbound_tracer_skips_and_counts_unknown_nodes():
+    from repro.ids import CallStack
+    from repro.runtime.ops import OpEvent
+
+    tracer = Tracer(scope=FullScope())  # never bound: no known nodes
+    tracer.after(
+        OpEvent(
+            seq=0,
+            kind=OpKind.MEM_WRITE,
+            obj_id="x",
+            node="ghost",
+            tid=0,
+            thread_name="t",
+            segment=0,
+            callstack=CallStack(),
+            location=(1, "x"),
+        )
+    )
+    # An uninstrumented process produces no records — but not silently.
+    assert len(tracer.trace) == 0
+    assert tracer.trace.skipped_unbound == 1
+    assert tracer.trace.skipped_untraced == 0
+
+
+def test_untraced_substrate_skips_are_counted():
+    cluster, tracer = _traced_cluster()
+    cluster.zookeeper()  # untraced substrate node
+    app = cluster.add_node("app")
+
+    def work():
+        zk = app.zk()
+        zk.create("/x", data=1)
+        zk.get_data("/x")
+
+    app.spawn(work, name="w")
+    cluster.run()
+    assert all(r.node != "zk" for r in tracer.trace)
+    assert tracer.trace.skipped_untraced >= 1

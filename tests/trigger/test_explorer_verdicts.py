@@ -91,3 +91,25 @@ def test_validate_report_returns_outcome_for_empty_plans():
     # Gates on site=None match nothing: the orders cannot be enforced.
     assert outcome is not None
     assert outcome.verdict in (Verdict.SERIAL, Verdict.UNKNOWN)
+
+
+def test_prioritize_puts_sampled_after_full_within_tier():
+    from repro.trigger.explorer import prioritize_reports
+
+    def report(rid, soundness, confidence):
+        return BugReport(
+            report_id=rid,
+            candidates=[],
+            soundness=soundness,
+            confidence=confidence,
+        )
+
+    ordered = prioritize_reports(
+        [
+            report(1, "sp-sound", "sampled"),
+            report(2, "hb-predicted", "full"),
+            report(3, "sp-sound", "full"),
+        ]
+    )
+    # Soundness dominates; within a tier full-confidence goes first.
+    assert [r.report_id for r in ordered] == [3, 1, 2]
