@@ -1,0 +1,389 @@
+"""Benchmarks for the always-on detection service (``BENCH_service.json``).
+
+Three sections, matching the service's three robustness claims:
+
+* ``multi_tenant`` — N tenants (default 4) concurrently ship medium
+  workloads (~180k records each) into one server; records aggregate
+  throughput and the fleet-wide ingest latency quantiles;
+* ``overload`` — a deliberately under-provisioned server (tiny ingest
+  queue + an injected per-batch detection delay) so ingest outruns
+  detection and the overload ladder engages; the published report must
+  *honestly* carry ``confidence: "sampled"``;
+* ``recovery`` — a real ``kill -9`` mid-ingest against a server
+  subprocess, then a restart + re-ship; the final report must be
+  byte-identical to an offline single-pass over the same WAL.
+
+Run: ``python -m repro.bench.service [--out BENCH_service.json]``.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.governor import FleetBudget
+from repro.detect.streaming import detect_races_streaming
+from repro.service.client import ServiceClient
+from repro.service.report import render_report, report_from_stream_result
+from repro.service.server import DetectionServer, load_service_file
+from repro.trace.wal import list_stream_segments
+from repro.workload import generate_workload
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Where ``write_service_bench_json`` puts its artifact by default.
+SERVICE_BENCH_PATH = REPO_ROOT / "BENCH_service.json"
+
+BENCH_WINDOW = 8192
+BENCH_PRESET = "medium"
+#: One flavor per tenant so the fleet is heterogeneous.
+BENCH_SYSTEMS = ("minizk", "minimr", "minica", "minihb")
+
+
+def _generate(out_dir: str, system: str, seed: int):
+    return generate_workload(system, BENCH_PRESET, seed=seed, out_dir=out_dir)
+
+
+def _quantile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+# -- multi-tenant throughput --------------------------------------------------
+
+
+def bench_multi_tenant(workdir: str, tenants: int = 4) -> Dict[str, object]:
+    """N tenants ship concurrently; measure aggregate ingest-to-report
+    throughput and fleet-wide durable-spool latency."""
+    workloads = []
+    for index in range(tenants):
+        system = BENCH_SYSTEMS[index % len(BENCH_SYSTEMS)]
+        out = os.path.join(workdir, f"workload-{index}")
+        workloads.append(
+            (f"tenant-{index}", _generate(out, system, seed=index), system)
+        )
+    # Provisioned-for-burst: enough queue credits that the ladder never
+    # engages and every report keeps full confidence — this section
+    # measures throughput, not degradation.
+    server = DetectionServer(
+        os.path.join(workdir, "data"),
+        limits=FleetBudget(queue_segments=1024),
+        window=BENCH_WINDOW,
+        http_port=None,
+    ).start()
+    per_tenant: Dict[str, Dict[str, object]] = {}
+    errors: List[str] = []
+
+    def ship(tenant: str, generated, system: str) -> None:
+        try:
+            with ServiceClient(
+                "127.0.0.1", server.port, tenant, retry_deadline_s=300
+            ) as client:
+                result = client.ship_wal_dir(generated.wal_dir)
+                report = client.wait_report(timeout_s=900)
+            per_tenant[tenant] = {
+                "system": system,
+                "ship": result.to_dict(),
+                "records": report["records"],
+                "candidates": report["candidate_count"],
+                "confidence": report["confidence"],
+                "latencies": result.ingest_latencies_s,
+            }
+        except Exception as exc:  # surface, don't hang the bench
+            errors.append(f"{tenant}: {type(exc).__name__}: {exc}")
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=ship, args=w, name=f"ship-{w[0]}")
+        for w in workloads
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+    finally:
+        server.stop()
+    if errors:
+        raise RuntimeError("; ".join(errors))
+    all_latencies = [
+        s for t in per_tenant.values() for s in t.pop("latencies")
+    ]
+    total_records = sum(int(t["records"]) for t in per_tenant.values())
+    return {
+        "tenants": tenants,
+        "preset": BENCH_PRESET,
+        "queue_segments": 1024,
+        "window": BENCH_WINDOW,
+        "total_records": total_records,
+        "wall_seconds": round(wall, 3),
+        "aggregate_records_per_second": round(total_records / wall, 1),
+        "ingest_p50_s": round(_quantile(all_latencies, 0.50), 6),
+        "ingest_p99_s": round(_quantile(all_latencies, 0.99), 6),
+        "all_full_confidence": all(
+            t["confidence"] == "full" for t in per_tenant.values()
+        ),
+        "per_tenant": per_tenant,
+    }
+
+
+# -- induced overload ---------------------------------------------------------
+
+
+def bench_overload(workdir: str) -> Dict[str, object]:
+    """Under-provision the server so ingest outruns detection: a
+    4-segment queue and a 0.25s per-batch detection delay.  The ladder
+    must engage and the report must say ``sampled``."""
+    generated = _generate(os.path.join(workdir, "workload"), "minizk", seed=7)
+    server = DetectionServer(
+        os.path.join(workdir, "data"),
+        limits=FleetBudget(queue_segments=4),
+        window=BENCH_WINDOW,
+        overload_poll_s=0.05,
+        pump_delay_s=0.25,
+        http_port=None,
+    ).start()
+    try:
+        started = time.perf_counter()
+        with ServiceClient(
+            "127.0.0.1", server.port, "hot", retry_deadline_s=600
+        ) as client:
+            result = client.ship_wal_dir(generated.wal_dir)
+            report = client.wait_report(timeout_s=900)
+        wall = time.perf_counter() - started
+    finally:
+        server.stop()
+    shipped = result.records_shipped
+    dropped = sum(report["sampled_dropped"].values())
+    return {
+        "preset": BENCH_PRESET,
+        "queue_segments": 4,
+        "pump_delay_s": 0.25,
+        "wall_seconds": round(wall, 3),
+        "records_shipped": shipped,
+        "records_detected": report["records"],
+        "records_sampled_away": dropped,
+        "confidence": report["confidence"],
+        "honest": report["confidence"] == "sampled" and dropped > 0,
+        "backpressure_waits": result.backpressure_waits,
+        "paused_waits": result.paused_waits,
+        "candidates": report["candidate_count"],
+    }
+
+
+# -- crash recovery -----------------------------------------------------------
+
+
+def _serve_subprocess(data_dir: str, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", data_dir,
+            "--window", str(BENCH_WINDOW), "--no-http", *extra,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 60
+    path = os.path.join(data_dir, "service.json")
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            try:
+                if load_service_file(data_dir).get("pid") == proc.pid:
+                    return proc
+            except (OSError, ValueError):
+                pass
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("service subprocess never became ready")
+
+
+def bench_recovery(workdir: str) -> Dict[str, object]:
+    """SIGKILL the server subprocess mid-ingest; restart; re-ship.
+    Zero acknowledged segments may be lost and the final report must be
+    byte-identical to the offline pass."""
+    generated = _generate(os.path.join(workdir, "workload"), "minimr", seed=3)
+    wal_dir = generated.wal_dir
+    oracle = render_report(
+        report_from_stream_result(
+            "alpha",
+            detect_races_streaming(wal_dir=wal_dir, window=BENCH_WINDOW),
+        )
+    )
+    data_dir = os.path.join(workdir, "data")
+    os.makedirs(data_dir, exist_ok=True)
+    spool_glob = os.path.join(
+        data_dir, "tenants", "alpha", "spool", "**", "*.wal"
+    )
+
+    # Phase 1: throttled server (backpressure paces the client; the
+    # ladder is parked so the report stays full-confidence), ship until
+    # ~60 segments are durable, then SIGKILL (no handler runs, nothing
+    # gets to seal).
+    server = _serve_subprocess(
+        data_dir,
+        "--queue-segments", "8",
+        "--pump-delay-s", "0.05",
+        "--overload-poll-s", "3600",
+    )
+    first_pid = server.pid
+    shipper: Optional[threading.Thread] = None
+    try:
+        doc = load_service_file(data_dir)
+
+        def ship_first() -> None:
+            try:
+                with ServiceClient(
+                    "127.0.0.1", int(doc["port"]), "alpha",
+                    retry_deadline_s=5,
+                ) as client:
+                    client.ship_wal_dir(wal_dir)
+            except Exception:
+                pass  # expected: the server dies under it
+
+        shipper = threading.Thread(target=ship_first, name="ship-first")
+        shipper.start()
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if len(glob.glob(spool_glob, recursive=True)) >= 60:
+                break
+            time.sleep(0.02)
+        spooled_before = len(glob.glob(spool_glob, recursive=True))
+        os.kill(first_pid, signal.SIGKILL)
+        server.wait(timeout=30)
+        shipper.join(timeout=60)
+    finally:
+        if server.poll() is None:
+            server.kill()
+        if shipper is not None and shipper.is_alive():
+            shipper.join(timeout=10)
+
+    # Phase 2: restart over the same directory and finish the ship.
+    # Provisioned-for-burst like the multi_tenant section: this section
+    # measures recovery fidelity, so the ladder must stay out of the
+    # way or the re-ship burst would (honestly) degrade to "sampled"
+    # and break byte-identity with the offline oracle.
+    server = _serve_subprocess(
+        data_dir,
+        "--queue-segments", "1024",
+        "--overload-poll-s", "3600",
+    )
+    try:
+        doc = load_service_file(data_dir)
+        with ServiceClient(
+            "127.0.0.1", int(doc["port"]), "alpha", retry_deadline_s=300
+        ) as client:
+            result = client.ship_wal_dir(wal_dir)
+            report = client.wait_report(timeout_s=900)
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+    total_segments = sum(
+        len(paths) for paths in list_stream_segments(wal_dir).values()
+    )
+    return {
+        "preset": BENCH_PRESET,
+        "total_segments": total_segments,
+        "segments_spooled_before_kill": spooled_before,
+        "duplicates_on_reship": result.segments_duplicate,
+        "zero_lost_segments": result.segments_duplicate >= spooled_before,
+        "pid_killed": first_pid,
+        "pid_recovered": doc["pid"],
+        "records": report["records"],
+        "confidence": report["confidence"],
+        "byte_identical_to_offline": render_report(report) == oracle,
+    }
+
+
+# -- document -----------------------------------------------------------------
+
+
+def bench_service_data(tenants: int = 4) -> Dict[str, object]:
+    """The ``BENCH_service.json`` document."""
+    import platform
+
+    document: Dict[str, object] = {
+        "format": "repro-bench-service",
+        "version": 1,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        document["multi_tenant"] = bench_multi_tenant(
+            os.path.join(tmp, "multi"), tenants=tenants
+        )
+        document["overload"] = bench_overload(os.path.join(tmp, "overload"))
+        document["recovery"] = bench_recovery(os.path.join(tmp, "recovery"))
+    return document
+
+
+def write_service_bench_json(
+    path=SERVICE_BENCH_PATH, tenants: int = 4
+) -> Path:
+    path = Path(path)
+    document = bench_service_data(tenants=tenants)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="benchmark the multi-tenant detection service"
+    )
+    parser.add_argument(
+        "--out", default=str(SERVICE_BENCH_PATH), help="artifact path"
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=4, help="concurrent tenants (>= 4)"
+    )
+    args = parser.parse_args(argv)
+    path = write_service_bench_json(args.out, tenants=args.tenants)
+    doc = json.loads(path.read_text())
+    multi = doc["multi_tenant"]
+    print(
+        f"multi-tenant: {multi['tenants']} tenants, "
+        f"{multi['total_records']} records in {multi['wall_seconds']}s "
+        f"({multi['aggregate_records_per_second']:,.0f} rec/s aggregate, "
+        f"ingest p99 {multi['ingest_p99_s'] * 1000:.1f}ms)"
+    )
+    over = doc["overload"]
+    print(
+        f"overload: confidence {over['confidence']} "
+        f"({over['records_sampled_away']} records sampled away, "
+        f"{over['backpressure_waits']} queue waits, "
+        f"{over['paused_waits']} pauses)"
+    )
+    rec = doc["recovery"]
+    print(
+        f"recovery: killed pid {rec['pid_killed']} after "
+        f"{rec['segments_spooled_before_kill']}/{rec['total_segments']} "
+        f"segments; byte-identical={rec['byte_identical_to_offline']}, "
+        f"zero-lost={rec['zero_lost_segments']}"
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,7 @@ from typing import List, Optional
 from repro.errors import (
     CheckpointError,
     PipelineInterrupted,
+    ServiceError,
     TraceFormatError,
     UnknownBenchmarkError,
 )
@@ -230,7 +231,7 @@ def _cmd_salvage(args: argparse.Namespace) -> int:
 
     from repro.trace import compute_stats, salvage_trace
 
-    trace, report = salvage_trace(args.wal_dir)
+    trace, report = salvage_trace(args.wal_dir, live=args.live)
     print(report.render())
     if args.report:
         with open(args.report, "w") as fh:
@@ -343,8 +344,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.detect.streaming import detect_races_streaming
     from repro.trace import build_sampler
+
+    # SIGTERM/SIGINT stop the pass at the next window boundary; the
+    # checkpoint (when configured) is sealed before we exit 130, so
+    # --resume picks up without reprocessing retired windows.
+    caught = {"signum": None}
+
+    def _interrupt(signum: int, frame: object) -> None:
+        caught["signum"] = signum
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _interrupt)
 
     result = detect_races_streaming(
         wal_dir=args.wal_dir,
@@ -354,7 +368,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         sampler=build_sampler(args.sampling, args.sampling_seed),
+        should_stop=lambda: caught["signum"] is not None,
     )
+    if result.resumed_at:
+        print(
+            f"resumed from checkpoint at {result.resumed_at} records "
+            "(retired windows not reprocessed)"
+        )
     print(
         f"streamed {result.records_consumed} records in "
         f"{result.analysis_seconds:.2f}s "
@@ -381,6 +401,29 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"{k}={v}" for k, v in sorted(result.sampled_dropped.items())
         )
         print(f"  sampled out: {parts}")
+    if args.report_out:
+        from repro.service.report import (
+            render_report,
+            report_from_stream_result,
+        )
+
+        doc = report_from_stream_result(args.report_tenant, result)
+        with open(args.report_out, "wb") as fh:
+            fh.write(render_report(doc))
+        print(f"  canonical report written to {args.report_out}")
+
+    if caught["signum"] is not None and result.stopped_early:
+        hint = (
+            f" (resume with --checkpoint {args.checkpoint} --resume)"
+            if args.checkpoint
+            else ""
+        )
+        print(
+            f"interrupted at {result.records_consumed} records; "
+            f"checkpoint sealed{hint}",
+            file=sys.stderr,
+        )
+        return 130
 
     if args.ground_truth is None:
         return 0
@@ -405,6 +448,105 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         sample = sorted(tuple(sorted(pair)) for pair in missed)[:5]
         print(f"  missed: {sample}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.analysis.governor import FleetBudget
+    from repro.service.server import DetectionServer
+
+    limits = FleetBudget(
+        max_tenants=args.max_tenants,
+        memory_budget_mb=args.memory_budget_mb,
+        queue_segments=args.queue_segments,
+    )
+    server = DetectionServer(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        limits=limits,
+        window=args.window,
+        max_bad_segments=args.max_bad_segments,
+        checkpoint_every=args.checkpoint_every,
+        pump_delay_s=args.pump_delay_s,
+        overload_poll_s=args.overload_poll_s,
+        http_port=None if args.no_http else args.http_port,
+    ).start()
+    print(
+        f"detection service on {server.host}:{server.port} "
+        f"(data: {server.data_dir})",
+        flush=True,
+    )
+    if server.http is not None:
+        print(
+            f"probes on http://{server.host}:{server.http.port}"
+            "/healthz /readyz /metrics",
+            flush=True,
+        )
+
+    stop = threading.Event()
+
+    def _graceful(signum: int, frame: object) -> None:
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _graceful)
+    while not stop.is_set() and not server.stopping:
+        stop.wait(0.2)
+    print("shutting down: sealing tenant checkpoints", flush=True)
+    server.stop()
+    return 0
+
+
+def _cmd_ship(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+    from repro.service.report import render_report
+    from repro.service.server import load_service_file
+
+    host, port = args.host, args.port
+    if args.data_dir is not None:
+        doc = load_service_file(args.data_dir)
+        host, port = str(doc["host"]), int(doc["port"])
+    if port is None:
+        print("error: need --port or --data-dir", file=sys.stderr)
+        return 2
+    with ServiceClient(
+        host,
+        port,
+        args.tenant,
+        retry_deadline_s=args.retry_deadline,
+    ) as client:
+        result = client.ship_wal_dir(args.wal_dir)
+        print(
+            f"shipped {result.segments_shipped} segments "
+            f"({result.records_shipped} records, "
+            f"{result.bytes_shipped} bytes) in {result.elapsed_s:.2f}s"
+        )
+        print(
+            f"  ingest latency: p50 {result.latency_quantile(0.5) * 1000:.1f}ms "
+            f"p99 {result.latency_quantile(0.99) * 1000:.1f}ms"
+        )
+        if result.backpressure_waits or result.paused_waits:
+            print(
+                f"  held back: {result.backpressure_waits} queue-credit "
+                f"waits, {result.paused_waits} overload pauses"
+            )
+        if result.reconnects:
+            print(f"  reconnects: {result.reconnects}")
+        if args.no_wait:
+            return 0
+        report = client.wait_report(args.report_timeout)
+        print(
+            f"  report: {report['candidate_count']} candidates over "
+            f"{report['records']} records, confidence {report['confidence']}"
+        )
+        if args.report_out:
+            with open(args.report_out, "wb") as fh:
+                fh.write(render_report(report))
+            print(f"  canonical report written to {args.report_out}")
     return 0
 
 
@@ -630,6 +772,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run HB analysis on the recovered trace (reports confidence)",
     )
+    salvage.add_argument(
+        "--live",
+        action="store_true",
+        help="the WAL is still being written: a growing unsealed tail "
+        "segment (and a half-flushed tail record) is reported as "
+        "in-progress, not damage",
+    )
     salvage.set_defaults(fn=_cmd_salvage)
 
     profile = sub.add_parser(
@@ -763,8 +912,172 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume from --checkpoint instead of starting over",
     )
+    stream.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        dest="report_out",
+        help="write the canonical (byte-stable) detection report here — "
+        "comparable byte-for-byte against the detection service's "
+        "per-tenant report",
+    )
+    stream.add_argument(
+        "--report-tenant",
+        default="offline",
+        metavar="NAME",
+        dest="report_tenant",
+        help="tenant name stamped into --report-out (match the service "
+        "tenant to diff reports)",
+    )
     _add_sampling_flags(stream)
     stream.set_defaults(fn=_cmd_stream)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on multi-tenant detection service",
+    )
+    serve.add_argument(
+        "data_dir",
+        help="service data directory (spools, checkpoints, reports; "
+        "recovered on restart)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = ephemeral; see <data_dir>/service.json)",
+    )
+    serve.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="RECORDS",
+        help="per-tenant streaming-detector compaction window",
+    )
+    serve.add_argument(
+        "--max-tenants",
+        type=int,
+        default=16,
+        dest="max_tenants",
+        metavar="N",
+        help="admission control: refuse new tenants beyond this count",
+    )
+    serve.add_argument(
+        "--memory-budget-mb",
+        type=int,
+        default=None,
+        dest="memory_budget_mb",
+        metavar="MB",
+        help="fleet RSS budget; overload ladder engages at 75%% "
+        "(sampled) and 92%% (paused)",
+    )
+    serve.add_argument(
+        "--queue-segments",
+        type=int,
+        default=64,
+        dest="queue_segments",
+        metavar="N",
+        help="per-tenant ingest queue depth (credit-based backpressure)",
+    )
+    serve.add_argument(
+        "--max-bad-segments",
+        type=int,
+        default=3,
+        dest="max_bad_segments",
+        metavar="N",
+        help="circuit breaker: quarantine a tenant after this streak "
+        "of torn/CRC-bad segments",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=20_000,
+        dest="checkpoint_every",
+        metavar="RECORDS",
+        help="records between per-tenant detector checkpoints",
+    )
+    serve.add_argument(
+        "--http-port",
+        type=int,
+        default=0,
+        dest="http_port",
+        metavar="PORT",
+        help="probe/metrics HTTP port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--no-http",
+        action="store_true",
+        dest="no_http",
+        help="disable the /healthz /readyz /metrics endpoint",
+    )
+    serve.add_argument(
+        "--pump-delay-s",
+        type=float,
+        default=0.0,
+        dest="pump_delay_s",
+        metavar="SECONDS",
+        help="inject a per-batch detection delay (overload demos: makes "
+        "ingest outrun detection so the ladder engages)",
+    )
+    serve.add_argument(
+        "--overload-poll-s",
+        type=float,
+        default=0.1,
+        dest="overload_poll_s",
+        metavar="SECONDS",
+        help="overload-ladder poll interval (a large value effectively "
+        "disables degradation, leaving only queue backpressure)",
+    )
+    serve.set_defaults(fn=_cmd_serve)
+
+    ship = sub.add_parser(
+        "ship",
+        help="ship a WAL directory to the detection service as one tenant",
+    )
+    ship.add_argument("wal_dir", help="WAL trace directory to ship")
+    ship.add_argument(
+        "--tenant", required=True, help="tenant id for this stream"
+    )
+    ship.add_argument(
+        "--data-dir",
+        default=None,
+        dest="data_dir",
+        metavar="DIR",
+        help="service data directory (reads service.json for host/port)",
+    )
+    ship.add_argument("--host", default="127.0.0.1")
+    ship.add_argument("--port", type=int, default=None)
+    ship.add_argument(
+        "--no-wait",
+        action="store_true",
+        dest="no_wait",
+        help="return after finalize instead of waiting for the report",
+    )
+    ship.add_argument(
+        "--report-out",
+        default=None,
+        dest="report_out",
+        metavar="PATH",
+        help="write the tenant's canonical report bytes here",
+    )
+    ship.add_argument(
+        "--report-timeout",
+        type=float,
+        default=300.0,
+        dest="report_timeout",
+        metavar="SECONDS",
+        help="how long to wait for detection to finish",
+    )
+    ship.add_argument(
+        "--retry-deadline",
+        type=float,
+        default=120.0,
+        dest="retry_deadline",
+        metavar="SECONDS",
+        help="give up on transient refusals/reconnects after this long",
+    )
+    ship.set_defaults(fn=_cmd_ship)
 
     return parser
 
@@ -775,6 +1088,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.fn(args)
     except (UnknownBenchmarkError, TraceFormatError, CheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 2
+    except ConnectionError as exc:
+        print(f"error: service unreachable: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -45,7 +45,7 @@ from typing import (
 )
 
 from repro import obs
-from repro.analysis.governor import StageBudget, process_rss_mb
+from repro.analysis.governor import StageBudget, maybe_stall, process_rss_mb
 from repro.detect.races import Candidate, DetectionResult
 from repro.errors import CheckpointError, TraceFormatError
 from repro.hb.incremental import StreamingHBState
@@ -68,6 +68,8 @@ __all__ = [
     "detect_races_streaming",
     "iter_wal_records",
     "load_stream_checkpoint",
+    "save_stream_checkpoint",
+    "stream_fingerprint",
 ]
 
 #: Records between compaction (frontier + retirement) passes.  Purely a
@@ -107,6 +109,9 @@ class StreamResult:
     #: Records dropped by the sampling filter, by record kind (empty
     #: when no sampler was attached).
     sampled_dropped: Dict[str, int] = field(default_factory=dict)
+    #: Record offset the pass resumed from (0 = started fresh) — lets
+    #: callers assert already-retired windows were not reprocessed.
+    resumed_at: int = 0
 
     @property
     def records_per_second(self) -> float:
@@ -439,17 +444,22 @@ def wal_stream_tids(wal_dir: str) -> List[int]:
 
 
 def _save_stream_checkpoint(
-    path: str, detector: StreamingDetector, fingerprint: str
+    path: str,
+    detector: StreamingDetector,
+    fingerprint: str,
+    extra: Optional[Dict[str, object]] = None,
 ) -> None:
-    payload = json.dumps(
-        {
-            "format": STREAM_CHECKPOINT_FORMAT,
-            "version": STREAM_CHECKPOINT_VERSION,
-            "fingerprint": fingerprint,
-            "snapshot": detector.to_snapshot(),
-        },
-        sort_keys=True,
-    ).encode("utf-8")
+    doc: Dict[str, object] = {
+        "format": STREAM_CHECKPOINT_FORMAT,
+        "version": STREAM_CHECKPOINT_VERSION,
+        "fingerprint": fingerprint,
+        "snapshot": detector.to_snapshot(),
+    }
+    if extra:
+        # Caller-owned sidecar state (the detection service stores its
+        # raw-merge watermark here so sampled tenants resume correctly).
+        doc["extra"] = extra
+    payload = json.dumps(doc, sort_keys=True).encode("utf-8")
     framed = b"%08x %s" % (zlib.crc32(payload) & 0xFFFFFFFF, payload)
     tmp = f"{path}.tmp"
     with open(tmp, "wb") as fh:
@@ -490,6 +500,12 @@ def _stream_fingerprint(
         # silently change which records the detector ever saw.
         base += f"|sampling={sampler.describe()}"
     return base
+
+
+# Public aliases: the detection service checkpoints per-tenant detectors
+# with the same CRC-framed format the offline ``stream`` pass uses.
+save_stream_checkpoint = _save_stream_checkpoint
+stream_fingerprint = _stream_fingerprint
 
 
 def _sampled_stream(stream, sampler):
@@ -567,6 +583,7 @@ def detect_races_streaming(
         detector = StreamingDetector(
             model=model, window=window, expected_streams=expected_streams
         )
+    resumed_at = detector.records_consumed
     skip = detector.records_consumed
 
     if wal_dir is not None:
@@ -596,6 +613,7 @@ def detect_races_streaming(
         detector.feed(event)
         if detector.records_consumed >= next_probe:
             next_probe = detector.records_consumed + detector.window
+            maybe_stall("stream_window")
             rss = process_rss_mb()
             if rss > rss_high:
                 rss_high = rss
@@ -650,4 +668,5 @@ def detect_races_streaming(
         unmatched=dict(state.unmatched),
         damage=dict(damage),
         sampled_dropped=dict(sampler.dropped) if sampler is not None else {},
+        resumed_at=resumed_at,
     )

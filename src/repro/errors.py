@@ -85,6 +85,25 @@ class PipelineInterrupted(ReproError):
         self.checkpoint_dir = checkpoint_dir
 
 
+class ServiceError(ReproError):
+    """The detection service (or its client) hit a protocol-level error.
+
+    Carries the structured error ``code`` from the wire (``over_capacity``,
+    ``quarantined``, ``bad_segment``, ...) plus an optional server-suggested
+    ``retry_after_s``.  Transient codes are retried by the client's backoff
+    loop; terminal codes (quarantined, protocol violations) propagate."""
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "error",
+        retry_after_s: "float | None" = None,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+
 class TraceAnalysisOOM(ReproError):
     """Trace analysis would exceed the configured memory budget.
 

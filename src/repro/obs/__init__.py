@@ -37,6 +37,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_json,
 )
+from repro.obs.http import ObsHttpServer
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -71,6 +72,7 @@ __all__ = [
     "NULL_REGISTRY",
     "NullTracer",
     "NULL_TRACER",
+    "ObsHttpServer",
     "Span",
     "SpanTracer",
     "DEFAULT_BUCKETS",

@@ -172,6 +172,10 @@ class PipelineResult:
     #: Degradation-ladder rungs engaged this run, in order (see
     #: ``repro.analysis.governor.DEGRADATION_LADDER``).
     degradation: List[str] = field(default_factory=list)
+    #: Structured ladder record — one ``DegradationEvent`` (rung, stage,
+    #: reason) per entry of ``degradation``; what the CLI summary prints
+    #: so operators see *why* a result is degraded.
+    degradation_events: List["object"] = field(default_factory=list)
     #: Stages restored from the checkpoint instead of recomputed.
     stages_skipped: List[str] = field(default_factory=list)
     #: Where this run checkpointed, when it did.
@@ -258,7 +262,12 @@ class PipelineResult:
                 f"{stage}: {count}" for stage, count in sorted(self.stage_failures.items())
             )
             lines.append(f"partial failures: {parts}")
-        if self.degradation:
+        if self.degradation_events:
+            lines.append(
+                "degraded: "
+                + " -> ".join(e.describe() for e in self.degradation_events)
+            )
+        elif self.degradation:
             lines.append(f"degraded: {' -> '.join(self.degradation)}")
         if self.stages_skipped:
             lines.append(
@@ -899,6 +908,7 @@ class DCatch:
             errors=errors,
             stage_status=stage_status,
             degradation=list(governor.degradations),
+            degradation_events=list(governor.degradation_events),
             stages_skipped=list(store.stages_skipped) if store else [],
             checkpoint_dir=store.directory if store else None,
         )

@@ -17,6 +17,7 @@ the paper's Rule-Mrpc abstracts away the RPC library internals.
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional
 
@@ -218,6 +219,32 @@ def call_rpc(
     return request.result
 
 
+def backoff_delay(
+    attempt: int,
+    base: int = 2,
+    factor: int = 2,
+    cap: int = 64,
+    key: str = "",
+) -> int:
+    """Full-jitter exponential backoff: a delay drawn uniformly from
+    ``[1, ceiling]`` where ``ceiling = min(cap, base * factor**attempt)``.
+
+    Pure exponential backoff synchronizes retries: every client that
+    failed together retries together, hammering the recovering server
+    in waves.  Full jitter ("Exponential Backoff And Jitter", AWS
+    Architecture Blog) spreads each wave across the whole window.  The
+    draw is **deterministic** — a CRC32 hash of ``(key, attempt)``, no
+    global RNG — so simulated schedules stay byte-reproducible while
+    distinct callers (distinct keys) still disperse.  The detection
+    service's client reuses this for wall-clock reconnect backoff.
+    """
+    ceiling = max(1, min(int(cap), max(1, int(base)) * int(factor) ** attempt))
+    fraction = (
+        zlib.crc32(f"{key}|{attempt}".encode("utf-8")) & 0xFFFFFFFF
+    ) / 2**32
+    return 1 + int(fraction * ceiling)
+
+
 def call_with_retry(
     caller_node: "object",
     target_name: str,
@@ -231,21 +258,24 @@ def call_with_retry(
     retry_on: tuple = (RpcError,),
     **kwargs: Any,
 ) -> Any:
-    """``call_rpc`` with bounded retries and deterministic backoff.
+    """``call_rpc`` with bounded retries and full-jitter backoff.
 
     Retries fire on transport failures (``RpcError`` — crashed target,
     timeout), never on application ``SimFailure``s raised by the handler
-    (those propagate like a normal remote exception).  The backoff is
-    exponential in logical time (``backoff_base * backoff_factor**k``,
-    capped at ``max_backoff``), so retried schedules stay reproducible.
-    Each attempt allocates its own RPC tag: a failed attempt contributes
-    no HB edge and no edge ties one attempt to another.
+    (those propagate like a normal remote exception).  Each retry
+    sleeps a :func:`backoff_delay` — uniform over an exponentially
+    growing window (capped at ``max_backoff``), keyed by
+    ``caller->target.method`` so concurrent callers that failed
+    together *disperse* instead of retrying in lockstep, yet every
+    schedule stays deterministic (the jitter is a hash, not an RNG).
+    Each attempt allocates its own RPC tag: a failed attempt
+    contributes no HB edge and no edge ties one attempt to another.
     """
     from repro.runtime.api import sleep
 
     if attempts < 1:
         raise ReproError("call_with_retry needs at least one attempt")
-    delay = max(1, int(backoff_base))
+    jitter_key = f"{caller_node.name}->{target_name}.{method}"
     last_error: Optional[SimFailure] = None
     for attempt in range(attempts):
         try:
@@ -265,8 +295,15 @@ def call_with_retry(
             obs.counter("rpc_retries_total", "RPC attempts retried").labels(
                 method=method
             ).inc()
-            sleep(min(delay, max_backoff))
-            delay *= max(1, int(backoff_factor))
+            sleep(
+                backoff_delay(
+                    attempt,
+                    base=backoff_base,
+                    factor=backoff_factor,
+                    cap=max_backoff,
+                    key=jitter_key,
+                )
+            )
     raise last_error
 
 

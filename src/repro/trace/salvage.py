@@ -19,6 +19,16 @@ What counts as damage:
 * **seal mismatch** — a seal whose count/CRC disagrees with the records
   actually read (silent loss *inside* a sealed segment);
 * **missing segment** — a gap in the segment numbering.
+
+**Live mode** (``live=True`` / ``dcatch salvage --live``): the WAL is
+still being written — the tracer is running right now.  A growing
+stream then *always* ends in an unsealed tail segment, and possibly a
+half-flushed final record; calling that "damage" would make every
+healthy live capture look broken.  In live mode the last segment of
+each stream is allowed to be unsealed (``in_progress_segments``) and a
+torn line at its EOF is ``records_in_progress`` — neither marks the
+report damaged.  The same conditions *before* the tail are still real
+damage, live or not.
 """
 
 from __future__ import annotations
@@ -62,6 +72,8 @@ class ThreadSalvage:
     records_quarantined: int = 0
     sealed_segments: int = 0
     unsealed_segments: int = 0
+    #: Live mode: the stream's growing tail segment (not damage).
+    in_progress_segments: int = 0
     missing_segments: List[int] = field(default_factory=list)
 
     @property
@@ -80,6 +92,7 @@ class ThreadSalvage:
             "records_quarantined": self.records_quarantined,
             "sealed_segments": self.sealed_segments,
             "unsealed_segments": self.unsealed_segments,
+            "in_progress_segments": self.in_progress_segments,
             "missing_segments": self.missing_segments,
         }
 
@@ -97,6 +110,10 @@ class SalvageReport:
     sealed_segments: int = 0
     unsealed_segments: int = 0
     seal_mismatches: int = 0
+    #: Live mode only: growing tail segments / half-flushed tail
+    #: records — expected for a WAL that is still being written.
+    in_progress_segments: int = 0
+    records_in_progress: int = 0
     missing_segments: List[str] = field(default_factory=list)
     quarantined: List[QuarantinedRecord] = field(default_factory=list)
     threads: Dict[str, ThreadSalvage] = field(default_factory=dict)
@@ -125,6 +142,8 @@ class SalvageReport:
             "sealed_segments": self.sealed_segments,
             "unsealed_segments": self.unsealed_segments,
             "seal_mismatches": self.seal_mismatches,
+            "in_progress_segments": self.in_progress_segments,
+            "records_in_progress": self.records_in_progress,
             "missing_segments": self.missing_segments,
             "quarantined": [q.to_dict() for q in self.quarantined],
             "threads": {
@@ -149,6 +168,12 @@ class SalvageReport:
             f"{self.seal_mismatches} seal mismatches, "
             f"{len(self.missing_segments)} missing"
         )
+        if self.in_progress_segments or self.records_in_progress:
+            lines.append(
+                f"  in progress (live): {self.in_progress_segments} "
+                f"growing tail segment(s), {self.records_in_progress} "
+                "half-flushed record(s)"
+            )
         for key, thread in sorted(self.threads.items()):
             if thread.damaged:
                 lines.append(
@@ -195,8 +220,13 @@ def _salvage_segment(
     report: SalvageReport,
     thread: ThreadSalvage,
     records: List[dict],
+    live_tail: bool = False,
 ) -> None:
-    """Scan one segment file line by line; recover what verifies."""
+    """Scan one segment file line by line; recover what verifies.
+
+    ``live_tail`` marks the stream's growing last segment during a live
+    capture: an unterminated final line and a missing seal are then
+    *in progress*, not damage."""
     with open(path, "rb") as fh:
         data = fh.read()
     offset = 0
@@ -209,6 +239,12 @@ def _salvage_segment(
         end = len(data) if newline < 0 else newline
         line = data[offset:end]
         torn_tail = newline < 0  # no terminator: the write was cut short
+        if torn_tail and live_tail:
+            # The writer is mid-append on this very line; it will be
+            # complete (or sealed over) by the next look.
+            report.records_in_progress += 1
+            offset = end + 1
+            continue
         if line.startswith(b"H "):
             pass  # header carries no records
         elif line.startswith(b"R "):
@@ -281,6 +317,9 @@ def _salvage_segment(
     if sealed:
         report.sealed_segments += 1
         thread.sealed_segments += 1
+    elif live_tail:
+        report.in_progress_segments += 1
+        thread.in_progress_segments += 1
     else:
         report.unsealed_segments += 1
         thread.unsealed_segments += 1
@@ -296,14 +335,19 @@ def _segment_index(filename: str) -> Optional[int]:
 
 
 def salvage_trace(
-    directory: str, name: str = "salvaged"
+    directory: str, name: str = "salvaged", live: bool = False
 ) -> Tuple[Trace, SalvageReport]:
     """Rebuild a ``Trace`` from a WAL directory, quarantining damage.
 
     Never raises on damaged content — a WAL directory with no intact
     record at all yields an empty trace and a report that says so.
     Raises ``TraceFormatError`` only when ``directory`` is not a WAL
-    directory at all (does not exist / contains no streams)."""
+    directory at all (does not exist / contains no streams).
+
+    ``live=True`` salvages a WAL that is *still being written*: each
+    stream's growing tail segment may legitimately be unsealed and end
+    mid-record; those are reported as in-progress, not damage, so a
+    healthy live capture salvages clean."""
     if not os.path.isdir(directory):
         raise TraceFormatError(f"not a WAL directory: {directory}")
     report = SalvageReport(directory=directory)
@@ -348,6 +392,7 @@ def salvage_trace(
                     report,
                     thread,
                     raw_records,
+                    live_tail=live and idx == indices[-1],
                 )
     if streams == 0:
         raise TraceFormatError(

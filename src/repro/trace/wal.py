@@ -34,10 +34,15 @@ from __future__ import annotations
 import json
 import os
 import zlib
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.runtime.ops import OpEvent
 from repro.trace.records import TRACE_SCHEMA_VERSION, record_to_dict
+
+#: Fires after a segment seals: ``(node, tid, segment_index, path)``.
+#: This is the hook the detection-service client rides to ship sealed
+#: segments as the run executes.
+SealCallback = Callable[[str, int, int, str], None]
 
 WAL_FORMAT = "repro-wal"
 WAL_VERSION = 1
@@ -74,12 +79,14 @@ class WalWriter:
         tid: int,
         segment_records: int = DEFAULT_SEGMENT_RECORDS,
         flush_every: int = DEFAULT_FLUSH_EVERY,
+        on_seal: Optional[SealCallback] = None,
     ) -> None:
         self.directory = os.path.join(directory, node, f"thread-{tid}")
         self.node = node
         self.tid = tid
         self.segment_records = max(1, segment_records)
         self.flush_every = max(1, flush_every)
+        self.on_seal = on_seal
         self.records_written = 0
         self.segments_sealed = 0
         self.bytes_written = 0
@@ -100,6 +107,7 @@ class WalWriter:
         self._segment_count = 0
         self._segment_crc = 0
         path = os.path.join(self.directory, f"seg-{self._segment_index:04d}.wal")
+        self._segment_path = path
         self._fh = open(path, "wb")
         header = {
             "format": WAL_FORMAT,
@@ -130,6 +138,10 @@ class WalWriter:
         self.bytes_written += len(line)
         self._fh.close()
         self.segments_sealed += 1
+        if self.on_seal is not None:
+            self.on_seal(
+                self.node, self.tid, self._segment_index, self._segment_path
+            )
 
     # -- public API ----------------------------------------------------------
 
@@ -192,10 +204,12 @@ class WalSink:
         directory: str,
         segment_records: int = DEFAULT_SEGMENT_RECORDS,
         flush_every: int = DEFAULT_FLUSH_EVERY,
+        on_seal: Optional[SealCallback] = None,
     ) -> None:
         self.directory = directory
         self.segment_records = segment_records
         self.flush_every = flush_every
+        self.on_seal = on_seal
         self.abandoned_nodes: set = set()
         self._writers: Dict[Tuple[str, int], WalWriter] = {}
         os.makedirs(directory, exist_ok=True)
@@ -212,6 +226,7 @@ class WalSink:
                 event.tid,
                 segment_records=self.segment_records,
                 flush_every=self.flush_every,
+                on_seal=self.on_seal,
             )
             self._writers[key] = writer
         writer.append(record_to_dict(event))
@@ -269,3 +284,102 @@ class WalSink:
                     if node in self.abandoned_nodes
                 )
             )
+
+
+# -- segment framing helpers -------------------------------------------------
+#
+# The segment file format doubles as the detection service's wire unit:
+# a client ships whole sealed segment files, the server re-verifies the
+# same length/CRC/seal framing before spooling.  These helpers are the
+# single implementation both sides (and salvage-adjacent tooling) share.
+
+
+def verify_segment_bytes(data: bytes) -> Tuple[int, bool, Optional[str]]:
+    """Validate one segment's bytes without decoding record payloads.
+
+    Returns ``(record_count, sealed, damage)`` where ``damage`` is
+    ``None`` for a fully intact segment or a short reason string for the
+    *first* problem found (torn record, CRC mismatch, garbage framing,
+    seal count/CRC disagreement).  An unsealed but otherwise intact
+    segment returns ``(count, False, None)`` — whether that is damage is
+    the caller's policy (a growing live tail is fine, a shipped segment
+    must be sealed)."""
+    count = 0
+    running_crc = 0
+    sealed = False
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        end = len(data) if newline < 0 else newline
+        line = data[offset:end]
+        torn = newline < 0
+        if line.startswith(b"H "):
+            pass
+        elif line.startswith(b"R "):
+            head, payload = line[:20], line[20:]
+            try:
+                length = int(head[2:10], 16)
+                crc = int(head[11:19], 16)
+            except ValueError:
+                return count, sealed, f"unparseable record framing at byte {offset}"
+            if torn or len(payload) != length:
+                return count, sealed, (
+                    f"torn record at byte {offset}: "
+                    f"{len(payload)} of {length} payload bytes"
+                )
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                return count, sealed, f"record CRC mismatch at byte {offset}"
+            count += 1
+            running_crc = _crc(payload, running_crc)
+        elif line.startswith(b"S ") and not torn:
+            try:
+                seal_count = int(line[2:10], 16)
+                seal_crc = int(line[11:19], 16)
+            except ValueError:
+                return count, sealed, f"unparseable seal marker at byte {offset}"
+            sealed = True
+            if seal_count != count or seal_crc != running_crc:
+                return count, True, (
+                    f"seal mismatch: sealed {seal_count} records, read {count}"
+                )
+        elif line:
+            return count, sealed, f"unrecognized line framing at byte {offset}"
+        offset = end + 1
+    return count, sealed, None
+
+
+def iter_segment_records(data: bytes) -> Iterable[Dict[str, Any]]:
+    """Decode the record payloads of verified segment bytes.
+
+    Assumes ``verify_segment_bytes`` reported no damage; raises
+    ``ValueError`` on malformed JSON (the caller should have verified
+    first)."""
+    for raw in data.split(b"\n"):
+        if raw.startswith(b"R "):
+            yield json.loads(raw[20:])
+
+
+def list_stream_segments(wal_dir: str) -> Dict[Tuple[str, int], List[str]]:
+    """Map every ``(node, tid)`` stream of a WAL directory to its
+    segment file paths, ordered by segment index."""
+    streams: Dict[Tuple[str, int], List[str]] = {}
+    if not os.path.isdir(wal_dir):
+        return streams
+    for node in sorted(os.listdir(wal_dir)):
+        node_dir = os.path.join(wal_dir, node)
+        if not os.path.isdir(node_dir):
+            continue
+        for entry in sorted(os.listdir(node_dir)):
+            thread_dir = os.path.join(node_dir, entry)
+            if not os.path.isdir(thread_dir) or not entry.startswith("thread-"):
+                continue
+            try:
+                tid = int(entry[len("thread-"):])
+            except ValueError:
+                continue
+            paths = []
+            for filename in sorted(os.listdir(thread_dir)):
+                if filename.startswith("seg-") and filename.endswith(".wal"):
+                    paths.append(os.path.join(thread_dir, filename))
+            streams[(node, tid)] = paths
+    return streams

@@ -1,0 +1,150 @@
+"""Signal semantics of ``repro stream``, exercised through real
+subprocesses: SIGTERM mid-pass seals the stream checkpoint and exits
+130; ``--resume`` picks up at the sealed offset, does not reprocess
+retired windows, and the resumed report is byte-identical to an
+uninterrupted run's."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.workload import generate_workload
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO, "src")
+
+WINDOW = "16"  # small window -> many probe points for the stall hook
+
+
+def _env(stall=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("DCATCH_STALL", None)
+    if stall:
+        env["DCATCH_STALL"] = stall
+    return env
+
+
+def _stream(*args, stall=None, wait=True):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "stream", *args],
+        env=_env(stall),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    if not wait:
+        return proc
+    out, err = proc.communicate(timeout=120)
+    return proc.returncode, out, err
+
+
+def _wait_for(predicate, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+@pytest.fixture(scope="module")
+def wal_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("workload")
+    generated = generate_workload("minizk", "small", seed=7, out_dir=str(out))
+    return generated.wal_dir
+
+
+@pytest.fixture(scope="module")
+def clean_report(wal_dir, tmp_path_factory):
+    """The uninterrupted run's canonical report: the byte oracle."""
+    path = str(tmp_path_factory.mktemp("oracle") / "report.json")
+    code, out, err = _stream(wal_dir, "--window", WINDOW, "--report-out", path)
+    assert code == 0, err
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def test_sigterm_seals_checkpoint_and_resume_skips_retired_windows(
+    tmp_path, wal_dir, clean_report
+):
+    ckpt = str(tmp_path / "stream.ckpt")
+    # 0.15s per window probe: the first checkpoint (8 windows in) lands
+    # ~1.2s in, well before the ~4s full pass finishes.
+    proc = _stream(
+        wal_dir,
+        "--window",
+        WINDOW,
+        "--checkpoint",
+        ckpt,
+        stall="stream_window:0.15",
+        wait=False,
+    )
+    try:
+        assert _wait_for(
+            lambda: os.path.exists(ckpt) and os.path.getsize(ckpt) > 0
+        )
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == 130, err
+    assert "interrupted" in err
+    assert "checkpoint sealed" in err
+    assert "--resume" in err  # the hint names the resume flags
+
+    report = str(tmp_path / "report.json")
+    code, out, err = _stream(
+        wal_dir,
+        "--window",
+        WINDOW,
+        "--checkpoint",
+        ckpt,
+        "--resume",
+        "--report-out",
+        report,
+    )
+    assert code == 0, err
+    # resumed mid-stream: some but not all records were retired
+    assert "resumed from checkpoint at " in out
+    assert "retired windows not reprocessed" in out
+    resumed_at = int(
+        out.split("resumed from checkpoint at ", 1)[1].split()[0]
+    )
+    total = int(out.split("streamed ", 1)[1].split()[0])
+    assert 0 < resumed_at < total
+    with open(report, "rb") as fh:
+        assert fh.read() == clean_report
+
+
+def test_resume_without_interrupt_reprocesses_nothing(
+    tmp_path, wal_dir, clean_report
+):
+    ckpt = str(tmp_path / "stream.ckpt")
+    code, out, err = _stream(wal_dir, "--window", WINDOW, "--checkpoint", ckpt)
+    assert code == 0, err
+
+    report = str(tmp_path / "report.json")
+    code, out, err = _stream(
+        wal_dir,
+        "--window",
+        WINDOW,
+        "--checkpoint",
+        ckpt,
+        "--resume",
+        "--report-out",
+        report,
+    )
+    assert code == 0, err
+    resumed_at = int(
+        out.split("resumed from checkpoint at ", 1)[1].split()[0]
+    )
+    total = int(out.split("streamed ", 1)[1].split()[0])
+    assert resumed_at == total  # everything already retired
+    with open(report, "rb") as fh:
+        assert fh.read() == clean_report

@@ -193,7 +193,9 @@ def test_retried_attempts_use_fresh_tags():
         for r in tracer.trace.of_kind(OpKind.RPC_CREATE)
         if r.extra.get("method") == "ping"
     ]
-    assert len(creates) == 2  # the timed-out attempt + the success
+    # At least the timed-out attempt and the success; jittered backoff
+    # may land one more retry inside the handler's busy window.
+    assert 2 <= len(creates) <= 3
     assert len({r.obj_id for r in creates}) == len(creates)  # all fresh tags
     # Failed attempts are annotated; the first attempt carries no marker.
     attempts = [r.extra.get("attempt", 0) for r in creates]
@@ -274,3 +276,35 @@ def test_timeout_fires_when_cluster_is_otherwise_idle():
     result = cluster.run()
     assert result.completed
     assert outcomes == ["timeout"]
+
+
+def test_backoff_full_jitter_disperses_across_callers():
+    """Clients that failed together must not retry in lockstep.
+
+    Full jitter draws each client's delay uniformly from the backoff
+    window, keyed by caller identity — so a fleet of callers spreads
+    across the window instead of hammering the recovering server in
+    synchronized waves."""
+    from repro.runtime.rpc import backoff_delay
+
+    window = 64
+    keys = [f"client-{i}->srv.ping" for i in range(200)]
+    delays = [backoff_delay(5, cap=window, key=k) for k in keys]
+    # Every delay stays inside the window...
+    assert all(1 <= d <= window for d in delays)
+    # ...but the fleet is dispersed: many distinct values, covering
+    # both the low and the high end of the window.
+    assert len(set(delays)) > window // 4
+    assert min(delays) <= window // 4
+    assert max(delays) >= (3 * window) // 4
+    # And the draw is a hash, not an RNG: byte-reproducible.
+    assert delays == [backoff_delay(5, cap=window, key=k) for k in keys]
+
+
+def test_backoff_window_grows_exponentially_to_cap():
+    from repro.runtime.rpc import backoff_delay
+
+    key = "client->srv.m"
+    for attempt, ceiling in [(0, 2), (1, 4), (2, 8), (6, 64), (20, 64)]:
+        delay = backoff_delay(attempt, base=2, factor=2, cap=64, key=key)
+        assert 1 <= delay <= ceiling
